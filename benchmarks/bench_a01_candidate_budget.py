@@ -1,0 +1,14 @@
+"""A1 bench: candidate enumeration budget ablation."""
+
+from conftest import run_and_report
+from repro.experiments import a01_candidate_budget
+
+
+def test_a01_candidate_budget(benchmark):
+    r = run_and_report(benchmark, a01_candidate_budget.run)
+    obj = r.extras["objective"]
+    # quality saturates: fine buys (almost) nothing over default
+    assert obj["fine"] >= obj["default"] * 0.98
+    # default is no worse than coarse/minimal
+    assert obj["default"] <= obj["coarse"] + 1e-12
+    assert obj["default"] <= obj["minimal"] + 1e-12

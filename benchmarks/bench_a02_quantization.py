@@ -1,0 +1,17 @@
+"""A2 bench: quantization-knob ablation across bandwidths."""
+
+import numpy as np
+
+from conftest import run_and_report
+from repro.experiments import a02_quantization
+
+
+def test_a02_quantization(benchmark):
+    r = run_and_report(benchmark, a02_quantization.run)
+    fp32, quant = r.extras["fp32"], r.extras["quant"]
+    for bw in quant:
+        # the knob never hurts (fp32 remains in the enlarged search space)
+        assert quant[bw] <= fp32[bw] * 1.001 or not np.isfinite(fp32[bw])
+    # and wins somewhere
+    finite = [bw for bw in quant if np.isfinite(quant[bw]) and np.isfinite(fp32[bw])]
+    assert any(fp32[bw] / quant[bw] > 1.5 for bw in finite)

@@ -1,0 +1,10 @@
+"""A3 bench: dominance pruning allocation-safety ablation."""
+
+from conftest import run_and_report
+from repro.experiments import a03_pruning
+
+
+def test_a03_pruning(benchmark):
+    r = run_and_report(benchmark, a03_pruning.run)
+    assert all(r.extras["match"])  # identical objectives — pruning is safe
+    assert all(red > 2.0 for red in r.extras["reduction"])  # and worthwhile

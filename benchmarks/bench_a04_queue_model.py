@@ -1,0 +1,12 @@
+"""A4 bench: congestion-aware vs congestion-blind solving."""
+
+from conftest import run_and_report
+from repro.experiments import a04_queue_model
+
+
+def test_a04_queue_model(benchmark):
+    r = run_and_report(benchmark, a04_queue_model.run, loads=(8, 24), horizon_s=15.0)
+    aware, blind = r.extras["aware"], r.extras["blind"]
+    for n in aware:
+        # congestion-awareness never hurts measured latency materially
+        assert aware[n] <= blind[n] * 1.05, n

@@ -1,0 +1,16 @@
+"""A5 bench: fairness/efficiency exponent ablation."""
+
+from conftest import run_and_report
+from repro.experiments import a05_fairness
+
+
+def test_a05_fairness(benchmark):
+    r = run_and_report(benchmark, a05_fairness.run)
+    mean = r.extras["mean_request"]
+    jain = r.extras["jain"]
+    # the KKT optimum: 0.5 minimizes the rate-weighted per-request mean
+    assert min(mean, key=mean.get) == 0.5
+    # fairness is monotone decreasing in the exponent
+    betas = sorted(jain)
+    vals = [jain[b] for b in betas]
+    assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,14 @@
+"""A6 bench: threshold-refinement ablation."""
+
+from conftest import run_and_report
+from repro.experiments import a06_refinement
+
+
+def test_a06_refinement(benchmark):
+    r = run_and_report(benchmark, a06_refinement.run)
+    obj = r.extras["objective"]
+    # refinement never hurts on any grid
+    for label, _ in [("single", None), ("coarse", None), ("default", None)]:
+        assert obj[(label, True)] <= obj[(label, False)] + 1e-12, label
+    # coarse grid + refinement lands within 1% of the fine-grid solution
+    assert obj[("single", True)] <= obj[("default", False)] * 1.01

@@ -1,0 +1,12 @@
+"""E1 bench: regenerate the per-layer profile motivation figure."""
+
+from conftest import run_and_report
+from repro.experiments import e01_layer_profiles
+
+
+def test_e01_layer_profiles(benchmark):
+    r = run_and_report(benchmark, e01_layer_profiles.run)
+    # shape check: a GPU server is orders of magnitude faster than a Pi
+    pi = next(row for row in r.rows if row[1] == "raspberry_pi4" and row[0] == "vgg16")
+    gpu = next(row for row in r.rows if row[1] == "edge_gpu" and row[0] == "vgg16")
+    assert pi[2] > 100 * gpu[2]

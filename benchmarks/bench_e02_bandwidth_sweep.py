@@ -1,0 +1,17 @@
+"""E2 bench: latency-vs-bandwidth crossover figure."""
+
+from conftest import run_and_report
+from repro.experiments import e02_bandwidth_sweep
+
+
+def test_e02_bandwidth_sweep(benchmark):
+    r = run_and_report(benchmark, e02_bandwidth_sweep.run)
+    series = r.extras["series"]
+    # device-only flat; edge-only improves with bandwidth; joint dominates all
+    assert series["edge_only"][0] > series["edge_only"][-1]
+    for i in range(len(r.extras["bandwidths"])):
+        best_baseline = min(
+            series["device_only"][i], series["edge_only"][i], series["neurosurgeon"][i]
+        )
+        assert series["joint"][i] <= best_baseline + 1e-9
+    assert r.extras["crossover_mbps"] is not None

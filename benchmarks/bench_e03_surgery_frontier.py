@@ -1,0 +1,16 @@
+"""E3 bench: accuracy-latency frontier table."""
+
+import math
+
+from conftest import run_and_report
+from repro.experiments import e03_surgery_frontier
+
+
+def test_e03_surgery_frontier(benchmark):
+    r = run_and_report(benchmark, e03_surgery_frontier.run)
+    # latency is non-decreasing in the accuracy floor for every model
+    for model, frontier in r.extras["frontier"].items():
+        floors = sorted(frontier)
+        lats = [frontier[f] for f in floors]
+        finite = [l for l in lats if math.isfinite(l)]
+        assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:])), model

@@ -1,0 +1,15 @@
+"""E4 bench: simulated latency vs concurrent-task count."""
+
+from conftest import run_and_report
+from repro.experiments import e04_latency_vs_load
+
+
+def test_e04_latency_vs_load(benchmark):
+    r = run_and_report(benchmark, e04_latency_vs_load.run, loads=(2, 4, 8), horizon_s=15.0)
+    measured = r.extras["measured"]
+    top_load = max(measured["joint"])
+    # at the highest load, joint's measured mean beats every baseline
+    for name, by_load in measured.items():
+        if name == "joint":
+            continue
+        assert measured["joint"][top_load]["mean"] <= by_load[top_load]["mean"] * 1.05, name

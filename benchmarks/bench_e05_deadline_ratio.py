@@ -1,0 +1,15 @@
+"""E5 bench: deadline-satisfaction ratio vs deadline tightness."""
+
+from conftest import run_and_report
+from repro.experiments import e05_deadline_ratio
+
+
+def test_e05_deadline_ratio(benchmark):
+    r = run_and_report(benchmark, e05_deadline_ratio.run, horizon_s=15.0)
+    sat = r.extras["satisfaction"]
+    # satisfaction is (weakly) increasing in the deadline scale for joint
+    scales = sorted(sat["joint"])
+    vals = [sat["joint"][s] for s in scales]
+    assert vals[-1] >= vals[0]
+    # joint at the loosest deadline satisfies nearly everything
+    assert vals[-1] > 0.9

@@ -1,0 +1,21 @@
+"""E6 bench: speedup distribution over randomized scenarios."""
+
+import numpy as np
+
+from conftest import run_and_report
+from repro.experiments import e06_speedup_dist
+
+
+def test_e06_speedup_dist(benchmark):
+    r = run_and_report(benchmark, e06_speedup_dist.run, num_scenarios=25)
+    pooled = np.concatenate([np.array(v) for v in r.extras["speedups"].values()])
+    # joint optimizes *predicted* latency under a conservative queueing
+    # model, so individual *measured* scenarios can dip below 1x (a baseline
+    # riding an unstable queue looks fine over a short horizon) — but the
+    # distribution must be centred above 1x and span the paper family's
+    # 1.1-18.7x band
+    assert np.percentile(pooled, 10) > 0.4
+    assert np.median(pooled) > 1.05
+    assert pooled.max() > 5.0
+    for name, vals in r.extras["speedups"].items():
+        assert np.median(vals) >= 0.9, name

@@ -1,0 +1,15 @@
+"""E7 bench: solver convergence trajectories."""
+
+import numpy as np
+
+from conftest import run_and_report
+from repro.experiments import e07_convergence
+
+
+def test_e07_convergence(benchmark):
+    r = run_and_report(benchmark, e07_convergence.run)
+    hist = [h for h in r.extras["bcd_history"] if np.isfinite(h)]
+    assert all(b <= a + 1e-12 for a, b in zip(hist, hist[1:]))  # monotone
+    assert r.extras["bcd_converged"]
+    assert r.extras["br_converged"]
+    assert abs(r.extras["gap"]) < 0.15  # distributed within 15% of centralized

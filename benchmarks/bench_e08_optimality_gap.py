@@ -1,0 +1,10 @@
+"""E8 bench: optimality gap vs exhaustive search."""
+
+from conftest import run_and_report
+from repro.experiments import e08_optimality_gap
+
+
+def test_e08_optimality_gap(benchmark):
+    r = run_and_report(benchmark, e08_optimality_gap.run, num_instances=4)
+    assert max(r.extras["gaps_bcd"]) < 0.05  # BCD within 5% of optimal
+    assert max(r.extras["gaps_br"]) < 0.10  # distributed within 10%

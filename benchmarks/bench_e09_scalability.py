@@ -1,0 +1,11 @@
+"""E9 bench: solver scalability sweep."""
+
+from conftest import run_and_report
+from repro.experiments import e09_scalability
+
+
+def test_e09_scalability(benchmark):
+    r = run_and_report(benchmark, e09_scalability.run)
+    solve = r.extras["solve_s"]
+    # the largest instance still solves fast enough for runtime re-planning
+    assert max(solve.values()) < 30.0

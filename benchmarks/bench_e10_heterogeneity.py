@@ -1,0 +1,13 @@
+"""E10 bench: heterogeneity sweep at constant aggregate capacity."""
+
+from conftest import run_and_report
+from repro.experiments import e10_heterogeneity
+
+
+def test_e10_heterogeneity(benchmark):
+    r = run_and_report(benchmark, e10_heterogeneity.run)
+    gains = [row[-1] for row in r.rows]
+    # the joint-vs-round-robin gain is larger under strong heterogeneity
+    # than in the homogeneous cluster
+    assert max(gains[1:]) > gains[0]
+    assert all(g >= 0.99 for g in gains)  # joint never loses

@@ -1,0 +1,16 @@
+"""E11 bench: dynamic-bandwidth adaptation."""
+
+import numpy as np
+
+from conftest import run_and_report
+from repro.experiments import e11_dynamic
+
+
+def test_e11_dynamic(benchmark):
+    r = run_and_report(benchmark, e11_dynamic.run, window_s=8.0)
+    s = r.extras["series"]
+    static = np.array(s["static"])
+    adaptive = np.array(s["adaptive"])
+    # re-optimization never hurts materially and helps in at least one window
+    assert np.all(adaptive <= static * 1.10)
+    assert np.any(adaptive < static * 0.98)

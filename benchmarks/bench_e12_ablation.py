@@ -1,0 +1,16 @@
+"""E12 bench: component ablation table."""
+
+from conftest import run_and_report
+from repro.experiments import e12_ablation
+
+
+def test_e12_ablation(benchmark):
+    r = run_and_report(benchmark, e12_ablation.run, horizon_s=15.0)
+    abl = r.extras["ablation"]
+    joint = abl["joint"]["objective"]
+    # joint beats both single-knob ablations, each of which beats raw offload
+    assert joint <= abl["edgent"]["objective"] + 1e-9
+    assert joint <= abl["allocation_only"]["objective"] + 1e-9
+    assert min(abl["edgent"]["objective"], abl["allocation_only"]["objective"]) <= (
+        abl["edge_only"]["objective"] + 1e-9
+    )

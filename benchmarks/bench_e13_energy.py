@@ -1,0 +1,16 @@
+"""E13 bench: device energy per inference."""
+
+from conftest import run_and_report
+from repro.experiments import e13_energy
+
+
+def test_e13_energy(benchmark):
+    r = run_and_report(benchmark, e13_energy.run)
+    e = r.extras["energy"]
+    total = lambda v: v["compute_mj"] + v["tx_mj"] + v["idle_mj"]
+    # offloading trades local compute joules for radio/idle joules...
+    assert e["joint"]["compute_mj"] <= e["device_only"]["compute_mj"]
+    # ...and the joint plan beats both static extremes on BOTH axes
+    for extreme in ("device_only", "edge_only"):
+        assert total(e["joint"]) <= total(e[extreme]) + 1e-9, extreme
+        assert e["joint"]["latency"] <= e[extreme]["latency"] + 1e-9, extreme

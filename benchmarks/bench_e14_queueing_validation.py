@@ -1,0 +1,13 @@
+"""E14 bench: analytic queueing vs simulation."""
+
+import numpy as np
+
+from conftest import run_and_report
+from repro.experiments import e14_queueing_validation
+
+
+def test_e14_queueing_validation(benchmark):
+    r = run_and_report(benchmark, e14_queueing_validation.run, horizon_s=40.0)
+    errors = np.abs(np.array(r.extras["errors"]))
+    # per-stage M/G/1 tracks simulation closely away from saturation
+    assert np.median(errors) < 0.15

@@ -1,0 +1,19 @@
+"""E15 bench: admission control under overload."""
+
+import math
+
+from conftest import run_and_report
+from repro.experiments import e15_admission
+
+
+def test_e15_admission(benchmark):
+    r = run_and_report(benchmark, e15_admission.run, horizon_s=15.0)
+    ratio = r.extras["ratio"]
+    sat = r.extras["admitted_satisfaction"]
+    loads = sorted(ratio)
+    # admission ratio decays (weakly) with offered load, reaching rejection
+    assert ratio[loads[0]] >= ratio[loads[-1]]
+    assert ratio[loads[-1]] < 1.0
+    # the admitted set keeps high measured satisfaction even at peak load
+    finite = [s for s in sat.values() if not math.isnan(s)]
+    assert min(finite) > 0.7

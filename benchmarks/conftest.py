@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Every bench target regenerates one experiment (E1–E14) from DESIGN.md's
+per-experiment index and attaches the headline numbers to pytest-benchmark's
+``extra_info`` so ``--benchmark-json`` output carries the reproduced
+rows alongside the timings.  Run with ``-s`` to see the full tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, run_fn, **kwargs):
+    """Benchmark an experiment runner and print its table."""
+    result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    benchmark.extra_info["exp_id"] = result.exp_id
+    benchmark.extra_info["title"] = result.title
+    benchmark.extra_info["notes"] = list(result.notes)
+    return result

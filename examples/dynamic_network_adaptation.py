@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Camera analytics under a fading wireless backhaul: why re-optimization matters.
+
+Pi-class cameras running heavyweight backbones offload over a backhaul whose
+capacity collapses and recovers (weather, contention).  A plan solved once
+for the nominal bandwidth keeps shipping activations into the fade and
+stalls; re-solving at each bandwidth change (sub-second, per experiment E9)
+retreats to earlier exits and local execution, then re-offloads on recovery.
+
+Run:  python examples/dynamic_network_adaptation.py
+"""
+
+from repro import JointOptimizer, SimulationConfig, build_scenario, simulate_plan
+from repro.analysis import format_table
+from repro.core.candidates import build_candidates
+from repro.network.link import Link
+from repro.network.topology import StarTopology
+from repro.units import mbps
+
+#: Bandwidth profile (Mbps) over consecutive 8-second windows.
+FADE_PROFILE = (40.0, 20.0, 3.0, 1.5, 20.0, 40.0)
+
+
+def with_bandwidth(cluster, bw_bps):
+    topo = cluster.topology
+    links = {k: Link(bw_bps, rtt_s=l.rtt_s) for k, l in topo.links.items()}
+    return cluster.with_topology(
+        StarTopology(list(topo.device_names), list(topo.server_names), links)
+    )
+
+
+def main() -> None:
+    cluster, tasks = build_scenario("smart_city", num_tasks=4, seed=1)
+    cands = [build_candidates(t) for t in tasks]
+
+    nominal = with_bandwidth(cluster, mbps(FADE_PROFILE[0]))
+    static_plan = JointOptimizer(nominal).solve(tasks, candidates=cands).plan
+
+    rows = []
+    for w, bw in enumerate(FADE_PROFILE):
+        window = with_bandwidth(cluster, mbps(bw))
+        adaptive_plan = JointOptimizer(window).solve(tasks, candidates=cands).plan
+        cfg = SimulationConfig(horizon_s=8.0, warmup_s=0.0, seed=10 + w)
+        static_rep = simulate_plan(tasks, static_plan, window, cfg)
+        adaptive_rep = simulate_plan(tasks, adaptive_plan, window, cfg)
+        offloaded = sum(1 for s in adaptive_plan.assignment.values() if s is not None)
+        rows.append(
+            (
+                w,
+                bw,
+                static_rep.mean_latency_s * 1e3,
+                adaptive_rep.mean_latency_s * 1e3,
+                static_rep.mean_latency_s / adaptive_rep.mean_latency_s,
+                f"{offloaded}/{len(tasks)}",
+            )
+        )
+    print(
+        format_table(
+            ["window", "bw_mbps", "static_ms", "adaptive_ms", "speedup", "adaptive_offloads"],
+            rows,
+            title="fading link: static plan vs per-window re-optimization (simulated)",
+            float_fmt="{:.2f}",
+        )
+    )
+    print(
+        "\nTakeaway: in the deep fade the adaptive plan cuts what crosses the "
+        "thin link\n(deeper cuts, earlier exits, rebalanced shares) and avoids "
+        "the static plan's upload stall."
+    )
+
+
+if __name__ == "__main__":
+    main()

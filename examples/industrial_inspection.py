@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Industrial visual inspection: tight deadlines, hard inputs, strict accuracy.
+
+Factory-floor defect detection inverts the smart-city tradeoffs: inputs are
+*hard* (cluttered parts, fine-grained defects) so early exits rarely fire;
+deadlines are tight (a conveyor does not wait); and the accuracy floor is a
+hard business constraint.  This example shows how the optimizer's decisions
+shift with the accuracy floor — from aggressive exits to deep execution with
+carefully allocated server shares — and what each floor costs in deadline
+compliance.
+
+Run:  python examples/industrial_inspection.py
+"""
+
+import dataclasses
+
+from repro import JointOptimizer, Objective, SimulationConfig, build_scenario, simulate_plan
+from repro.analysis import format_table
+
+
+def main() -> None:
+    cluster, base_tasks = build_scenario("industrial", num_tasks=6, seed=2)
+    print(
+        "scenario: 6 inspection stations, deadlines "
+        f"{sorted({t.deadline_s * 1e3 for t in base_tasks})} ms, hard input mix\n"
+    )
+
+    rows = []
+    for floor in (0.55, 0.62, 0.68):
+        tasks = [dataclasses.replace(t, accuracy_floor=floor) for t in base_tasks]
+        result = JointOptimizer(cluster, objective=Objective.DEADLINE_MISS).solve(tasks)
+        rep = simulate_plan(
+            tasks, result.plan, cluster, SimulationConfig(horizon_s=20.0, warmup_s=2.0, seed=4)
+        )
+        # characterize the chosen surgery
+        n_exits = [len(f.plan.kept_exits) - 1 for f in result.plan.features.values()]
+        offloaded = sum(1 for s in result.plan.assignment.values() if s is not None)
+        rows.append(
+            (
+                floor,
+                rep.accuracy,
+                rep.mean_latency_s * 1e3,
+                rep.percentile_latency_s(99) * 1e3,
+                (1 - rep.miss_rate) * 100,
+                f"{sum(n_exits) / len(n_exits):.1f}",
+                f"{offloaded}/{len(tasks)}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "acc_floor",
+                "measured_acc",
+                "mean_ms",
+                "p99_ms",
+                "in_deadline_%",
+                "avg_exits_kept",
+                "offloaded",
+            ],
+            rows,
+            title="accuracy floor vs deadline compliance (simulated)",
+            float_fmt="{:.3f}",
+        )
+    )
+    print(
+        "\nTakeaway: raising the floor forces deeper execution; the optimizer "
+        "compensates\nwith offloading and larger server shares, trading "
+        "deadline slack for accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Operating an oversubscribed edge: admission control + online re-planning.
+
+Two production concerns the one-shot optimizer doesn't cover:
+
+1. **Overload** — more streams than the site can serve within deadlines.
+   Admission control rejects the least valuable violating streams so the
+   admitted ones keep their guarantees.
+2. **Drift** — the environment changes after the plan is made.  The online
+   controller watches bandwidth/load observations and re-solves only on
+   material drift (with hysteresis against flapping).
+
+Run:  python examples/overload_admission.py
+"""
+
+import dataclasses
+
+from repro import SimulationConfig, admit_tasks, build_scenario, simulate_plan
+from repro.analysis import format_table
+from repro.core.candidates import build_candidates
+from repro.core.online import ControllerConfig, EnvironmentSample, OnlineController
+from repro.units import mbps
+
+
+def admission_demo() -> None:
+    print("=" * 72)
+    print("Part 1: admission control under overload")
+    print("=" * 72)
+    rows = []
+    for offered in (8, 16, 32):
+        cluster, tasks = build_scenario("smart_city", num_tasks=offered, seed=0)
+        tasks = [dataclasses.replace(t, deadline_s=t.deadline_s * 1.25) for t in tasks]
+        cands = [build_candidates(t) for t in tasks]
+        res = admit_tasks(tasks, cluster, candidates=cands)
+        if res.plan is not None:
+            rep = simulate_plan(
+                res.admitted, res.plan, cluster,
+                SimulationConfig(horizon_s=15.0, warmup_s=2.0, seed=1),
+            )
+            satisfied = (1 - rep.miss_rate) * 100
+        else:
+            satisfied = float("nan")
+        rows.append(
+            (offered, len(res.admitted), len(res.rejected), res.rounds, satisfied)
+        )
+    print(
+        format_table(
+            ["offered", "admitted", "rejected", "rounds", "admitted_satisfied_%"],
+            rows,
+            float_fmt="{:.1f}",
+        )
+    )
+    print(
+        "\nThe admitted subset keeps meeting deadlines while an un-gated "
+        "system would\ndegrade everyone (compare experiment E4)."
+    )
+
+
+def online_demo() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2: online controller reacting to drift")
+    print("=" * 72)
+    cluster, tasks = build_scenario("smart_city", num_tasks=4, seed=0)
+    controller = OnlineController(
+        cluster,
+        tasks,
+        config=ControllerConfig(replan_threshold=0.3, min_replan_interval_s=2.0),
+    )
+    print(f"t=0s   initial plan, objective {controller.plan.objective_value * 1e3:.1f} ms")
+
+    timeline = [
+        (5.0, 44.0, "noise (+10%) — below threshold"),
+        (10.0, 4.0, "deep fade (-90%) — re-plan"),
+        (11.0, 2.0, "still fading — hysteresis holds"),
+        (20.0, 40.0, "recovery — re-plan back"),
+    ]
+    for t, bw, label in timeline:
+        fired = controller.observe(
+            EnvironmentSample(
+                time_s=t,
+                bandwidth_bps={k: mbps(bw) for k in cluster.topology.links},
+            )
+        )
+        action = "RE-PLANNED" if fired else "kept plan "
+        print(
+            f"t={t:<4.0f}s bw={bw:5.1f} Mbps  {action}  "
+            f"objective {controller.plan.objective_value * 1e3:9.1f} ms   ({label})"
+        )
+    print(f"\ntotal re-plans: {controller.replan_count} (of {len(timeline)} observations)")
+
+
+if __name__ == "__main__":
+    admission_demo()
+    online_demo()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Smart-city video analytics: scaling camera count on a fixed edge site.
+
+The motivating workload of the paper family: a city deploys ever more
+analytics cameras against a fixed pool of edge servers.  This example scales
+the number of camera streams and compares the joint optimizer against the
+strategies a practitioner would otherwise reach for, showing where each
+collapses — and that surgery alone or allocation alone is not enough.
+
+Run:  python examples/smart_city_video.py
+"""
+
+from repro import JointOptimizer, SimulationConfig, build_scenario, simulate_plan
+from repro.analysis import format_table
+from repro.baselines import AllocationOnly, EdgeOnly, Edgent
+from repro.core.candidates import build_candidates
+
+
+def main() -> None:
+    rows = []
+    for n_cameras in (4, 8, 16):
+        cluster, tasks = build_scenario("smart_city", num_tasks=n_cameras, seed=3)
+        cands = [build_candidates(t) for t in tasks]
+
+        plans = {
+            "joint": JointOptimizer(cluster).solve(tasks, candidates=cands).plan,
+            "edgent (surgery only)": Edgent().solve(tasks, cluster, candidates=cands),
+            "allocation only": AllocationOnly().solve(tasks, cluster, candidates=cands),
+            "edge only": EdgeOnly().solve(tasks, cluster, candidates=cands),
+        }
+        for name, plan in plans.items():
+            rep = simulate_plan(
+                tasks, plan, cluster, SimulationConfig(horizon_s=20.0, warmup_s=2.0, seed=5)
+            )
+            rows.append(
+                (
+                    n_cameras,
+                    name,
+                    rep.mean_latency_s * 1e3,
+                    rep.percentile_latency_s(99) * 1e3,
+                    rep.miss_rate * 100,
+                    rep.accuracy,
+                )
+            )
+    print(
+        format_table(
+            ["cameras", "strategy", "mean_ms", "p99_ms", "deadline_miss_%", "accuracy"],
+            rows,
+            title="smart-city video analytics under increasing camera load (simulated)",
+            float_fmt="{:.2f}",
+        )
+    )
+    print(
+        "\nTakeaway: surgery-only over-offloads and saturates the servers as "
+        "cameras multiply;\nallocation-only wastes work running full-depth "
+        "models; the joint plan does neither."
+    )
+
+
+if __name__ == "__main__":
+    main()

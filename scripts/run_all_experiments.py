@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Run every experiment (E1-E14) and dump the tables to stdout.
+
+Used to regenerate the measured sections of EXPERIMENTS.md:
+
+    python scripts/run_all_experiments.py > /tmp/experiments_raw.txt
+"""
+
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+#: Benchmark-sized knobs per experiment (defaults elsewhere).
+KNOBS = {
+    "E4": dict(loads=(2, 4, 8), horizon_s=15.0),
+    "E5": dict(horizon_s=15.0),
+    "E6": dict(num_scenarios=25),
+    "E8": dict(num_instances=4),
+    "E11": dict(window_s=8.0),
+    "E12": dict(horizon_s=15.0),
+    "E14": dict(horizon_s=40.0),
+    "E15": dict(horizon_s=15.0),
+    "A4": dict(loads=(8, 24), horizon_s=15.0),
+}
+
+
+def main() -> None:
+    for eid in sorted(EXPERIMENTS, key=lambda e: (e[0], int(e[1:]))):
+        t0 = time.time()
+        result = run_experiment(eid, **KNOBS.get(eid, {}))
+        took = time.time() - t0
+        print(f"\n<<<{eid} ({took:.1f}s)>>>")
+        print(result.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Markdown report rendering for experiment results.
+
+Turns a collection of :class:`~repro.experiments.common.ExperimentResult`
+objects into the measured sections of ``EXPERIMENTS.md`` (or any standalone
+report).  Commentary is supplied by the caller; this module owns only the
+mechanical formatting, so regenerating the record after a change is one
+script run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # avoid a circular import: experiments.common uses analysis
+    from repro.experiments.common import ExperimentResult
+
+
+def _sort_key(exp_id: str):
+    """E-experiments first in numeric order, then A-ablations."""
+    return (0 if exp_id.startswith("E") else 1, int(exp_id[1:]))
+
+
+def render_experiment_section(
+    result: "ExperimentResult", commentary: Optional[str] = None
+) -> str:
+    """One markdown section: heading, commentary, fenced result table."""
+    lines = [f"## {result.exp_id} — {result.title}", ""]
+    if commentary:
+        lines += [commentary.strip(), ""]
+    lines += ["```", result.format(), "```", ""]
+    return "\n".join(lines)
+
+
+def render_markdown_report(
+    results: Sequence["ExperimentResult"],
+    title: str = "Experiment report",
+    preamble: str = "",
+    commentary: Optional[Dict[str, str]] = None,
+) -> str:
+    """A full markdown report over many experiments, sorted by id."""
+    if not results:
+        raise ConfigError("no experiment results to render")
+    ids = [r.exp_id for r in results]
+    if len(set(ids)) != len(ids):
+        raise ConfigError(f"duplicate experiment ids: {ids}")
+    commentary = commentary or {}
+    parts: List[str] = [f"# {title}", ""]
+    if preamble:
+        parts += [preamble.strip(), ""]
+    for r in sorted(results, key=lambda r: _sort_key(r.exp_id)):
+        parts.append(render_experiment_section(r, commentary.get(r.exp_id)))
+    return "\n".join(parts)
+
+
+def render_scorecard(
+    rows: Iterable[Sequence[str]],
+    headers: Sequence[str] = ("ID", "Artifact", "Expected shape", "Holds?"),
+) -> str:
+    """A markdown summary table (the scorecard at the end of EXPERIMENTS.md)."""
+    rows = [list(r) for r in rows]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ConfigError(f"scorecard row width mismatch: {r}")
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("----" for _ in headers) + "|")
+    for r in rows:
+        out.append("| " + " | ".join(str(c) for c in r) + " |")
+    return "\n".join(out)

@@ -1,0 +1,45 @@
+"""ASCII table rendering for experiment output.
+
+Benchmarks print the same rows/series a paper table or figure would carry;
+this module is the single place that formats them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table; floats use ``float_fmt``, others ``str``."""
+    body: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}: {row}"
+            )
+        body.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

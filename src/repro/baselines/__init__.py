@@ -1,0 +1,49 @@
+"""Baseline strategies the joint optimizer is evaluated against.
+
+Every baseline implements the :class:`~repro.baselines.base.Strategy`
+interface (tasks + cluster -> :class:`~repro.core.plan.JointPlan`) and is
+solved with the *same* latency semantics (:func:`solution_latencies`) as the
+joint optimizer, so comparisons are apples-to-apples.
+
+=====================  ==========================================================
+Strategy               What it models
+=====================  ==========================================================
+``DeviceOnly``         run the full model locally (no surgery, no offload)
+``BranchyLocal``       BranchyNet: early exits, but everything stays local
+``EdgeOnly``           ship raw input to a round-robin server (no surgery)
+``CloudOnly``          ship raw input to the single fastest server
+``Neurosurgeon``       per-task best partition point; no exits; no multi-user
+                       allocation (equal shares)
+``Edgent``             per-task surgery (exits + partition) assuming a private
+                       server; no allocation awareness
+``AllocationOnly``     smart assignment + shares, but no model surgery
+``GreedyJoint``        one greedy sequential pass over tasks (deadline order)
+``RandomStrategy``     random feasible choices (sanity floor)
+``RoundRobinStrategy`` round-robin servers, best plan under equal shares
+=====================  ==========================================================
+"""
+
+from repro.baselines.base import Strategy, equal_share_allocation, package_solution
+from repro.baselines.branchy import BranchyLocal
+from repro.baselines.edgent import Edgent
+from repro.baselines.greedy import GreedyJoint
+from repro.baselines.neurosurgeon import Neurosurgeon
+from repro.baselines.random_alloc import RandomStrategy
+from repro.baselines.round_robin import RoundRobinStrategy
+from repro.baselines.static_placement import AllocationOnly, CloudOnly, DeviceOnly, EdgeOnly
+
+__all__ = [
+    "AllocationOnly",
+    "BranchyLocal",
+    "CloudOnly",
+    "DeviceOnly",
+    "EdgeOnly",
+    "Edgent",
+    "GreedyJoint",
+    "Neurosurgeon",
+    "RandomStrategy",
+    "RoundRobinStrategy",
+    "Strategy",
+    "equal_share_allocation",
+    "package_solution",
+]

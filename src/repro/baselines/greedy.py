@@ -1,0 +1,89 @@
+"""Greedy sequential joint heuristic.
+
+Tasks are processed once in deadline order (most urgent first); each picks
+the (server-or-local, plan) pair minimizing its own predicted latency given
+the shares that would result from joining the already-placed tasks.  This is
+effectively a single round of best response with a fixed visiting order —
+cheap, contention-aware, but with no back-tracking, so early placements can
+strand later tasks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.allocation import allocate_shares, solution_latencies
+from repro.baselines.base import Strategy
+from repro.core.plan import JointPlan
+from repro.rng import SeedLike
+
+
+class GreedyJoint(Strategy):
+    """One-pass greedy joint placement + surgery."""
+
+    name = "greedy"
+
+    def solve(self, tasks, cluster, candidates=None, seed=None) -> JointPlan:
+        candsets = self._candidates(tasks, candidates)
+        n, m = len(tasks), cluster.num_servers
+        order = sorted(range(n), key=lambda i: tasks[i].deadline_s)
+        assignment: List[Optional[int]] = [None] * n
+        plan_idx = [0] * n
+        # start everyone on their best local plan so partially-built states
+        # are always evaluable
+        for i, t in enumerate(tasks):
+            device = cluster.by_name(t.device_name)
+            plan_idx[i] = int(np.argmin(candsets[i].latencies(device, self.latency_model)))
+
+        placed: List[int] = []
+        for i in order:
+            t = tasks[i]
+            device = cluster.by_name(t.device_name)
+            best_lat = np.inf
+            best_choice: tuple = (None, plan_idx[i])
+            for option in [None] + list(range(m)):
+                assignment[i] = option
+                if option is None:
+                    lat_vec = candsets[i].latencies(device, self.latency_model)
+                    j = int(np.argmin(lat_vec))
+                else:
+                    server = cluster.servers[option]
+                    link = cluster.link(t.device_name, server.name)
+                    prov = allocate_shares(
+                        tasks, candsets, plan_idx, assignment, cluster,
+                        self.latency_model, self.objective,
+                    )
+                    lat_vec = candsets[i].latencies(
+                        device,
+                        self.latency_model,
+                        server=server,
+                        link=link,
+                        compute_share=float(prov.compute_shares[i]),
+                        bandwidth_share=float(prov.bandwidth_shares[i]),
+                    )
+                    j = int(np.argmin(lat_vec))
+                saved = plan_idx[i]
+                plan_idx[i] = j
+                alloc = allocate_shares(
+                    tasks, candsets, plan_idx, assignment, cluster,
+                    self.latency_model, self.objective,
+                )
+                lat_all = solution_latencies(
+                    tasks, candsets, plan_idx, alloc, cluster,
+                    self.latency_model, self.include_queueing,
+                    overload="penalty",
+                )
+                my_lat = float(lat_all[i])
+                plan_idx[i] = saved
+                if my_lat < best_lat:
+                    best_lat = my_lat
+                    best_choice = (option, j)
+            assignment[i], plan_idx[i] = best_choice
+            placed.append(i)
+
+        alloc = allocate_shares(
+            tasks, candsets, plan_idx, assignment, cluster, self.latency_model, self.objective
+        )
+        return self._finish(tasks, candsets, plan_idx, alloc, cluster)

@@ -1,0 +1,42 @@
+"""Random baseline — the sanity floor every principled method must clear."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import Strategy, equal_share_allocation
+from repro.core.plan import JointPlan
+from repro.rng import SeedLike, as_generator
+
+
+class RandomStrategy(Strategy):
+    """Uniformly random placement and plan choice (accuracy-feasible only)."""
+
+    name = "random"
+
+    def solve(self, tasks, cluster, candidates=None, seed=None) -> JointPlan:
+        rng = as_generator(seed)
+        candsets = self._candidates(tasks, candidates)
+        m = cluster.num_servers
+        assignment: List[Optional[int]] = []
+        plan_idx: List[int] = []
+        for i, t in enumerate(tasks):
+            choice = int(rng.integers(m + 1))
+            want_local = choice == m
+            cs = candsets[i]
+            if want_local:
+                local = [j for j, f in enumerate(cs.features) if f.is_local_only]
+                if local:
+                    assignment.append(None)
+                    plan_idx.append(int(rng.choice(local)))
+                    continue
+                choice = int(rng.integers(m))  # no local plan: fall through
+            assignment.append(choice)
+            plan_idx.append(int(rng.integers(len(cs))))
+        # a random offloading assignment with a local-only plan is wasteful
+        # but valid; drop the unused server to keep the plan self-consistent
+        for i in range(len(tasks)):
+            if candsets[i].features[plan_idx[i]].is_local_only:
+                assignment[i] = None
+        alloc = equal_share_allocation(assignment, tasks)
+        return self._finish(tasks, candsets, plan_idx, alloc, cluster)

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-models`` — the zoo, with FLOPs/params/cut counts;
+- ``profile MODEL DEVICE`` — per-layer latency table;
+- ``solve`` — build a scenario, run the joint optimizer, print (and
+  optionally save) the plan;
+- ``simulate`` — solve then replay under Poisson load in the simulator;
+- ``experiment ID`` — regenerate one table/figure (E1–E14).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.joint import JointOptimizer
+from repro.core.objectives import Objective
+from repro.devices.latency import LatencyModel
+from repro.devices.presets import DEVICE_PRESETS, SERVER_PRESETS, device_preset
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.models import zoo
+from repro.profiling.profiler import profile_model
+from repro.sim.runner import SimulationConfig, simulate_plan
+from repro.workloads.scenarios import SCENARIOS, build_scenario
+
+
+def _cmd_list_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name in zoo.available_models():
+        g = zoo.build(name)
+        rows.append(
+            (name, g.total_flops / 1e9, g.total_params / 1e6, g.num_layers, len(g.cut_points))
+        )
+    print(
+        format_table(
+            ["model", "GFLOPs", "MParams", "layers", "cut_points"],
+            rows,
+            title="model zoo",
+            float_fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph = zoo.build(args.model)
+    device = device_preset(args.device)
+    table = profile_model(graph, device, LatencyModel(), noise=args.noise, seed=args.seed)
+    print(table.summary(top=args.top))
+    return 0
+
+
+def _solve(args: argparse.Namespace):
+    cluster, tasks = build_scenario(
+        args.scenario,
+        num_tasks=args.tasks,
+        num_servers=args.servers,
+        access_mbps=args.bandwidth,
+        seed=args.seed,
+    )
+    objective = Objective(args.objective)
+    result = JointOptimizer(cluster, objective=objective).solve(tasks, seed=args.seed)
+    return cluster, tasks, result
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    cluster, tasks, result = _solve(args)
+    print(
+        f"solved {len(tasks)} tasks on {cluster.num_servers} servers in "
+        f"{result.iterations} iterations (converged={result.converged})"
+    )
+    print(result.plan.summary())
+    print(f"objective: {result.plan.objective_value * 1e3:.2f} ms")
+    if args.output:
+        from repro.io import save_joint_plan
+
+        save_joint_plan(result.plan, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cluster, tasks, result = _solve(args)
+    print(result.plan.summary())
+    report = simulate_plan(
+        tasks,
+        result.plan,
+        cluster,
+        SimulationConfig(
+            horizon_s=args.horizon, warmup_s=min(args.horizon / 5, 5.0), seed=args.seed
+        ),
+    )
+    print()
+    print(report.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.id)
+    print(result.format())
+    if args.output:
+        from repro.io import save_experiment_result
+
+        save_experiment_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Joint model surgery + resource allocation in heterogeneous edge",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list the model zoo").set_defaults(
+        fn=_cmd_list_models
+    )
+
+    p = sub.add_parser("profile", help="per-layer latency profile")
+    p.add_argument("model", choices=zoo.available_models())
+    p.add_argument(
+        "device", choices=sorted(list(DEVICE_PRESETS) + list(SERVER_PRESETS))
+    )
+    p.add_argument("--noise", type=float, default=0.0, help="measurement jitter sigma")
+    p.add_argument("--top", type=int, default=10, help="rows to show")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_profile)
+
+    for name, help_text in (
+        ("solve", "solve a scenario and print the joint plan"),
+        ("simulate", "solve a scenario, then measure the plan in the simulator"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--scenario", choices=sorted(SCENARIOS), default="smart_city")
+        p.add_argument("--tasks", type=int, default=6)
+        p.add_argument("--servers", type=int, default=None)
+        p.add_argument("--bandwidth", type=float, default=None, help="access Mbps")
+        p.add_argument(
+            "--objective",
+            choices=[o.value for o in Objective],
+            default=Objective.AVG_LATENCY.value,
+        )
+        p.add_argument("--seed", type=int, default=0)
+        if name == "solve":
+            p.add_argument("--output", help="write the plan as JSON")
+            p.set_defaults(fn=_cmd_solve)
+        else:
+            p.add_argument("--horizon", type=float, default=30.0, help="sim seconds")
+            p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="regenerate one experiment (E1-E14)")
+    p.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
+    p.add_argument("--output", help="write the tables as JSON")
+    p.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,335 @@
+"""Resource allocation: closed-form shares, server assignment, and the
+shared solution-evaluation routine.
+
+**Shares (KKT water-filling).**  Within one server, tasks ``i`` with expected
+server work ``a_i`` (seconds at full speed) and weights ``w_i`` receive
+compute shares minimizing ``sum_i w_i a_i / x_i`` subject to ``sum x_i <= 1``.
+The Lagrangian stationarity condition gives ``x_i ∝ sqrt(w_i a_i)`` — the
+classic square-root allocation (Cauchy–Schwarz shows optimality).  Bandwidth
+shares on a contended access link follow the same rule with ``a_i`` replaced
+by expected bytes.  Tasks with zero expected work on a resource receive a
+full (unused) share of 1.
+
+**Assignment (Hungarian).**  Tasks are matched to replicated "server slots"
+(plus a private local-execution column per task) via
+``scipy.optimize.linear_sum_assignment`` on a cost matrix of best-candidate
+latencies under an equal-share estimate.  Slot replication bounds how many
+tasks an assignment round can pile onto one server; the joint optimizer's
+share re-solve then refines within each server.
+
+**Evaluation.**  :func:`solution_latencies` is the single source of truth for
+"what latency does this complete solution predict" — used identically by the
+BCD solver, the best-response game, the exhaustive optimum, and the
+experiment harness, so their objective values are directly comparable.
+Congestion is charged with a tandem-queue approximation: each request stream
+flows through up to three stages (device compute, link, server compute), each
+modeled as an independent M/G/1 queue — Poisson input, service moments from
+the plan's realized-demand distribution (multi-exit services are bimodal,
+which is why :class:`~repro.core.plan.PlanFeatures` carries second moments).
+The link and server stages see the *thinned* stream (rate ``λ·p_offload``)
+with demand moments conditioned on offloading.  Per-stage waits add; any
+stage at utilization >= 1 renders the solution infeasible (``inf``).
+Experiment E14 validates this against the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.candidates import CandidateSet
+from repro.core.objectives import Objective
+from repro.core.plan import TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.latency import LatencyModel
+from repro.errors import ConfigError, PlanError
+
+
+@dataclass
+class Allocation:
+    """Per-task server choice and resource shares."""
+
+    assignment: List[Optional[int]]  # server index or None (local)
+    compute_shares: np.ndarray
+    bandwidth_shares: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.assignment)
+        self.compute_shares = np.asarray(self.compute_shares, dtype=float)
+        self.bandwidth_shares = np.asarray(self.bandwidth_shares, dtype=float)
+        if self.compute_shares.shape != (n,) or self.bandwidth_shares.shape != (n,):
+            raise ConfigError("share arrays must match assignment length")
+        if np.any(self.compute_shares <= 0) or np.any(self.compute_shares > 1 + 1e-9):
+            raise ConfigError(f"compute shares outside (0,1]: {self.compute_shares}")
+        if np.any(self.bandwidth_shares <= 0) or np.any(
+            self.bandwidth_shares > 1 + 1e-9
+        ):
+            raise ConfigError(f"bandwidth shares outside (0,1]: {self.bandwidth_shares}")
+
+
+def power_shares(weights: np.ndarray, exponent: float = 0.5) -> np.ndarray:
+    """Shares ``x_i ∝ weights_i**exponent`` summing to 1.
+
+    ``exponent`` selects the fairness/efficiency point of a one-parameter
+    allocation family (ablation A5):
+
+    - ``0.0`` — equal shares regardless of demand (proportional fairness on
+      shares; what a fair OS scheduler gives);
+    - ``0.5`` — the KKT optimum of total weighted latency (the default; see
+      :func:`sqrt_shares`);
+    - ``1.0`` — shares proportional to demand, equalizing per-task latency
+      contributions (max-min on latency).
+
+    Zero-weight entries receive share 1 (they do not consume the resource).
+    """
+    if not (0.0 <= exponent <= 1.0):
+        raise ConfigError(f"share exponent must be in [0,1], got {exponent}")
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ConfigError(f"negative share weights: {w}")
+    active = w > 0
+    x = np.ones_like(w)
+    if np.any(active):
+        s = w[active] ** exponent
+        x[active] = s / s.sum()
+    return x
+
+
+def sqrt_shares(weights: np.ndarray) -> np.ndarray:
+    """Optimal shares ``x_i ∝ sqrt(weights_i)`` summing to 1.
+
+    ``weights_i = w_i * a_i`` (importance × full-speed resource seconds);
+    the ``exponent=0.5`` member of :func:`power_shares`, which Cauchy–Schwarz
+    shows minimizes ``sum_i w_i a_i / x_i`` subject to ``sum x_i <= 1``.
+    """
+    return power_shares(weights, 0.5)
+
+
+def allocate_shares(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    plan_idx: Sequence[int],
+    assignment: Sequence[Optional[int]],
+    cluster: EdgeCluster,
+    latency_model: LatencyModel,
+    objective: Objective = Objective.AVG_LATENCY,
+    share_exponent: float = 0.5,
+) -> Allocation:
+    """Closed-form compute and bandwidth shares given plans + assignment.
+
+    Compute shares are solved per server; bandwidth shares per access link
+    (tasks on the same end device contending for the same radio).
+    ``share_exponent`` selects the fairness/efficiency point — see
+    :func:`power_shares` (0.5 = latency-optimal default).
+    """
+    n = len(tasks)
+    if not (len(candsets) == len(plan_idx) == len(assignment) == n):
+        raise ConfigError("tasks/candsets/plan_idx/assignment length mismatch")
+    compute = np.ones(n)
+    bandwidth = np.ones(n)
+
+    # group by server for compute shares
+    by_server: Dict[int, List[int]] = {}
+    for i, s in enumerate(assignment):
+        if s is not None:
+            by_server.setdefault(s, []).append(i)
+    for s, members in by_server.items():
+        server = cluster.servers[s]
+        rate = latency_model.throughput(server)
+        weights = np.array(
+            [
+                objective.task_weight(tasks[i])
+                * tasks[i].arrival_rate
+                * candsets[i].srv_flops[plan_idx[i]]
+                / rate
+                for i in members
+            ]
+        )
+        compute[members] = power_shares(weights, share_exponent)
+
+    # group by (device, server) link for bandwidth shares
+    by_link: Dict[Tuple[str, int], List[int]] = {}
+    for i, s in enumerate(assignment):
+        if s is not None:
+            by_link.setdefault((tasks[i].device_name, s), []).append(i)
+    for (dev_name, s), members in by_link.items():
+        link = cluster.link(dev_name, cluster.servers[s].name)
+        weights = np.array(
+            [
+                objective.task_weight(tasks[i])
+                * tasks[i].arrival_rate
+                * candsets[i].wire_bytes[plan_idx[i]]
+                / link.bandwidth_bps
+                for i in members
+            ]
+        )
+        bandwidth[members] = power_shares(weights, share_exponent)
+
+    return Allocation(list(assignment), compute, bandwidth)
+
+
+#: Surrogate latency (seconds per unit of bottleneck utilization) used in
+#: "penalty" overload mode — must dwarf any real latency so penalized
+#: solutions never beat stable ones, while still ordering overloaded
+#: solutions by how overloaded they are.
+OVERLOAD_PENALTY_S = 1e4
+
+
+def solution_latencies(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    plan_idx: Sequence[int],
+    allocation: Allocation,
+    cluster: EdgeCluster,
+    latency_model: LatencyModel,
+    include_queueing: bool = True,
+    overload: str = "inf",
+) -> np.ndarray:
+    """Predicted expected latency per task for a complete solution.
+
+    Includes per-stage M/G/1 waiting terms when ``include_queueing``
+    (default) — see the module docstring.  Structurally infeasible choices
+    (offloading plan with no server) are always ``inf``.  Queue-unstable
+    choices (any stage utilization >= 1) are ``inf`` in the default
+    ``overload="inf"`` mode — the honest report — or a large
+    utilization-graded surrogate in ``overload="penalty"`` mode, which the
+    iterative solvers use internally so that the search keeps a gradient even
+    when every reachable solution is overloaded (degrade gracefully: shed the
+    most load first).
+    """
+    from repro.core.queueing import mg1_wait
+
+    if overload not in ("inf", "penalty"):
+        raise ConfigError(f"overload must be 'inf' or 'penalty', got {overload!r}")
+    n = len(tasks)
+    out = np.empty(n)
+    for i, task in enumerate(tasks):
+        cs = candsets[i]
+        j = plan_idx[i]
+        f = cs.features[j]
+        device = cluster.by_name(task.device_name)
+        s = allocation.assignment[i]
+        lam = task.arrival_rate
+        r_dev = latency_model.throughput(device)
+        oh_d = device.overhead_s if f.dev_flops > 0 else 0.0
+        t_dev = f.dev_flops / r_dev + oh_d
+        wait = 0.0
+        rho_max = lam * t_dev
+        if include_queueing and t_dev > 0:
+            # device stage: every request visits it
+            s1 = t_dev
+            s2 = (
+                f.dev_flops_sq / r_dev**2
+                + 2.0 * oh_d * f.dev_flops / r_dev
+                + oh_d**2
+            )
+            wait = mg1_wait(lam, s1, max(s2, s1 * s1))
+        if s is None:
+            if not f.is_local_only:
+                out[i] = np.inf
+                continue
+            latency = t_dev + wait
+            if not np.isfinite(latency):
+                latency = (
+                    t_dev + OVERLOAD_PENALTY_S * rho_max
+                    if overload == "penalty"
+                    else np.inf
+                )
+            out[i] = latency
+            continue
+        server = cluster.servers[s]
+        link = cluster.link(task.device_name, server.name)
+        x = float(allocation.compute_shares[i])
+        y = float(allocation.bandwidth_shares[i])
+        r_srv = latency_model.throughput(server) * x
+        bw = link.bandwidth_bps * y
+        t_srv = f.srv_flops / r_srv + f.p_offload * server.overhead_s
+        t_link = f.wire_bytes / bw
+        base = t_dev + t_srv + t_link + f.p_offload * link.rtt_s
+        total_wait = wait
+        if include_queueing and f.p_offload > 0:
+            lam_off = lam * f.p_offload
+            # server stage: thinned stream, conditional service moments
+            m1 = (f.srv_flops / f.p_offload) / r_srv + server.overhead_s
+            m2 = (
+                (f.srv_flops_sq / f.p_offload) / r_srv**2
+                + 2.0 * server.overhead_s * (f.srv_flops / f.p_offload) / r_srv
+                + server.overhead_s**2
+            )
+            w_srv = mg1_wait(lam_off, m1, max(m2, m1 * m1))
+            # link stage: deterministic conditional service (fixed boundary)
+            l1 = (f.wire_bytes / f.p_offload) / bw
+            l2 = (f.wire_bytes_sq / f.p_offload) / bw**2
+            w_link = mg1_wait(lam_off, l1, max(l2, l1 * l1))
+            total_wait = wait + f.p_offload * (w_srv + w_link)
+            rho_max = max(rho_max, lam_off * m1, lam_off * l1)
+        if np.isfinite(total_wait):
+            out[i] = base + total_wait
+        elif overload == "penalty":
+            out[i] = base + OVERLOAD_PENALTY_S * rho_max
+        else:
+            out[i] = np.inf
+    return out
+
+
+def assign_servers(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    cluster: EdgeCluster,
+    latency_model: LatencyModel,
+    slots_per_server: Optional[int] = None,
+    share_estimate: Optional[float] = None,
+) -> List[Optional[int]]:
+    """Initial task -> server assignment by min-cost matching.
+
+    Cost of (task, server) = best candidate latency under an optimistic
+    equal-share estimate; each task also gets a private "run locally" column
+    priced at its best local-only latency (``inf`` if it has none).  Servers
+    are replicated into ``slots_per_server`` columns (default: enough for all
+    tasks to fit, +1 slack) so load spreads before share refinement.
+    """
+    n, m = len(tasks), cluster.num_servers
+    if n == 0:
+        return []
+    if slots_per_server is None:
+        slots_per_server = max(1, -(-n // m))  # ceil(n/m)
+    if share_estimate is None:
+        share_estimate = 1.0 / max(1, min(n, slots_per_server))
+
+    cols = m * slots_per_server + n
+    cost = np.full((n, cols), np.inf)
+    for i, task in enumerate(tasks):
+        device = cluster.by_name(task.device_name)
+        for s in range(m):
+            server = cluster.servers[s]
+            link = cluster.link(task.device_name, server.name)
+            lat = candsets[i].latencies(
+                device,
+                latency_model,
+                server=server,
+                link=link,
+                compute_share=share_estimate,
+                bandwidth_share=share_estimate,
+            )
+            best = float(np.min(lat))
+            for k in range(slots_per_server):
+                cost[i, s * slots_per_server + k] = best
+        # private local column
+        local_lat = candsets[i].latencies(device, latency_model)
+        cost[i, m * slots_per_server + i] = float(np.min(local_lat))
+
+    # linear_sum_assignment rejects inf rows; replace with a huge finite cost
+    finite_max = np.nanmax(np.where(np.isinf(cost), np.nan, cost))
+    big = (finite_max if np.isfinite(finite_max) else 1.0) * 1e6 + 1e3
+    cost_f = np.where(np.isinf(cost), big, cost)
+    rows, cols_sel = linear_sum_assignment(cost_f)
+    assignment: List[Optional[int]] = [None] * n
+    for r, c in zip(rows, cols_sel):
+        if c < m * slots_per_server and cost[r, c] != np.inf:
+            assignment[r] = int(c // slots_per_server)
+        else:
+            assignment[r] = None
+    return assignment

@@ -1,0 +1,273 @@
+"""Candidate plan sets: array-of-structs view + dominance pruning.
+
+A :class:`CandidateSet` packs a task's enumerated plan features into parallel
+NumPy arrays so the joint optimizer evaluates *all* candidates under a given
+allocation with a single vectorized expression, then argmins.
+
+Pruning removes plans dominated in the 5-dimensional feature space
+(dev_flops, srv_flops, wire_bytes, p_offload | accuracy): if plan B costs at
+least as much as plan A on every resource and achieves no more accuracy, no
+allocation can ever make B preferable, so B can be dropped *before* any
+allocation is known.  This typically shrinks ~10^3 enumerated plans to a few
+dozen undominated ones and is what keeps the joint solver fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.plan import PlanFeatures, SurgeryPlan, TaskSpec
+from repro.core.surgery import enumerate_features, plan_latency
+from repro.devices.device import DeviceSpec
+from repro.devices.latency import LatencyModel
+from repro.errors import InfeasibleError, PlanError
+from repro.network.link import Link
+
+
+@dataclass
+class CandidateSet:
+    """Parallel-array view over a task's candidate plans."""
+
+    task: TaskSpec
+    features: List[PlanFeatures]
+    dev_flops: np.ndarray = field(init=False)
+    srv_flops: np.ndarray = field(init=False)
+    wire_bytes: np.ndarray = field(init=False)
+    p_offload: np.ndarray = field(init=False)
+    accuracy: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise PlanError(f"{self.task.name}: empty candidate set")
+        self.dev_flops = np.array([f.dev_flops for f in self.features])
+        self.srv_flops = np.array([f.srv_flops for f in self.features])
+        self.wire_bytes = np.array([f.wire_bytes for f in self.features])
+        self.p_offload = np.array([f.p_offload for f in self.features])
+        self.accuracy = np.array([f.accuracy for f in self.features])
+        self.dev_flops_sq = np.array([f.dev_flops_sq for f in self.features])
+        self.srv_flops_sq = np.array([f.srv_flops_sq for f in self.features])
+        self.wire_bytes_sq = np.array([f.wire_bytes_sq for f in self.features])
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    # -- transformations -----------------------------------------------------
+
+    def filter_accuracy(self, floor: float) -> "CandidateSet":
+        """Keep plans meeting the accuracy floor; raise if none do."""
+        keep = [f for f, a in zip(self.features, self.accuracy) if a >= floor - 1e-12]
+        if not keep:
+            raise InfeasibleError(
+                f"{self.task.name}: no plan reaches accuracy {floor:.3f} "
+                f"(best attainable {float(self.accuracy.max()):.3f})"
+            )
+        return CandidateSet(self.task, keep)
+
+    def local_only(self) -> "CandidateSet":
+        """Subset of plans that never use a server."""
+        keep = [f for f in self.features if f.is_local_only]
+        if not keep:
+            raise InfeasibleError(f"{self.task.name}: no fully-local plan available")
+        return CandidateSet(self.task, keep)
+
+    def pruned(self) -> "CandidateSet":
+        """Drop plans dominated on every resource at no accuracy gain."""
+        n = len(self.features)
+        cost = np.stack(
+            [self.dev_flops, self.srv_flops, self.wire_bytes, self.p_offload], axis=1
+        )
+        acc = self.accuracy
+        keep_mask = np.ones(n, dtype=bool)
+        # sort by accuracy descending so dominators are scanned first
+        order = np.argsort(-acc, kind="stable")
+        kept_rows: List[int] = []
+        for idx in order:
+            if kept_rows:
+                rows = np.array(kept_rows)
+                dominates = (
+                    (acc[rows] >= acc[idx] - 1e-12)
+                    & np.all(cost[rows] <= cost[idx] + 1e-9, axis=1)
+                )
+                strictly = (acc[rows] > acc[idx] + 1e-12) | np.any(
+                    cost[rows] < cost[idx] - 1e-9, axis=1
+                )
+                if np.any(dominates & strictly):
+                    keep_mask[idx] = False
+                    continue
+            kept_rows.append(int(idx))
+        kept = [f for f, k in zip(self.features, keep_mask) if k]
+        return CandidateSet(self.task, kept)
+
+    def subsample(self, k: int) -> "CandidateSet":
+        """Evenly thin the set to at most ``k`` plans (accuracy-ordered).
+
+        Used where the candidate count itself is the complexity driver
+        (exhaustive enumeration in experiment E8).  Keeps both accuracy
+        extremes; deterministic.
+        """
+        if k < 1:
+            raise PlanError(f"subsample size must be >= 1, got {k}")
+        n = len(self.features)
+        if n <= k:
+            return CandidateSet(self.task, list(self.features))
+        order = np.argsort(self.accuracy, kind="stable")
+        picks = np.unique(np.linspace(0, n - 1, k).round().astype(int))
+        kept = [self.features[int(order[p])] for p in picks]
+        return CandidateSet(self.task, kept)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def latencies(
+        self,
+        device: DeviceSpec,
+        latency_model: LatencyModel,
+        server: Optional[DeviceSpec] = None,
+        link: Optional[Link] = None,
+        compute_share: float = 1.0,
+        bandwidth_share: float = 1.0,
+        server_wait_s: float = 0.0,
+        arrival_rate: Optional[float] = None,
+    ) -> np.ndarray:
+        """Expected latency of every candidate under one allocation.
+
+        With ``server=None`` only local-only candidates get finite latency;
+        offloading candidates are reported as ``inf``.  Passing
+        ``arrival_rate`` adds the per-stage M/G/1 congestion terms (same
+        model as :func:`repro.core.allocation.solution_latencies`), so the
+        surgery step can reject plans whose bottleneck stage cannot sustain
+        the task's stream (those come back ``inf``).
+        """
+        r_dev = latency_model.throughput(device)
+        if server is None:
+            t = np.where(
+                self.dev_flops > 0,
+                self.dev_flops / r_dev + device.overhead_s,
+                0.0,
+            )
+            uses = (self.p_offload > 0) | (self.srv_flops > 0)
+            t = np.where(uses, np.inf, t)
+        else:
+            t = plan_latency(
+                self.dev_flops,
+                self.srv_flops,
+                self.wire_bytes,
+                self.p_offload,
+                device,
+                latency_model,
+                server=server,
+                link=link,
+                compute_share=compute_share,
+                bandwidth_share=bandwidth_share,
+                server_wait_s=server_wait_s,
+            )
+        if arrival_rate is not None:
+            t = t + self._queue_waits(
+                arrival_rate, device, latency_model, server, link,
+                compute_share, bandwidth_share,
+            )
+        return t
+
+    #: Ranking penalty (seconds per unit of bottleneck utilization) applied
+    #: to overloaded candidates instead of ``inf``.  When *no* stable plan
+    #: exists, the graded penalty still orders candidates by how overloaded
+    #: they are, so the optimizer degrades gracefully (shed the most load)
+    #: rather than choosing arbitrarily among equally-infinite options.  The
+    #: objective reported by :func:`solution_latencies` remains an honest
+    #: ``inf`` for unstable solutions.
+    OVERLOAD_PENALTY_S = 1e4
+
+    def _queue_waits(
+        self,
+        lam: float,
+        device: DeviceSpec,
+        latency_model: LatencyModel,
+        server: Optional[DeviceSpec],
+        link: Optional[Link],
+        compute_share: float,
+        bandwidth_share: float,
+    ) -> np.ndarray:
+        """Vectorized per-stage M/G/1 waiting time per candidate.
+
+        Overloaded candidates receive a finite, utilization-graded penalty
+        (see :data:`OVERLOAD_PENALTY_S`) so ranking keeps a gradient.
+        """
+        from repro.core.queueing import mg1_wait_vec
+
+        r_dev = latency_model.throughput(device)
+        oh_d = np.where(self.dev_flops > 0, device.overhead_s, 0.0)
+        s1 = self.dev_flops / r_dev + oh_d
+        s2 = self.dev_flops_sq / r_dev**2 + 2 * oh_d * self.dev_flops / r_dev + oh_d**2
+        wait = np.where(
+            s1 > 0, mg1_wait_vec(np.full_like(s1, lam), s1, np.maximum(s2, s1 * s1)), 0.0
+        )
+        rho_max = lam * s1
+        if server is not None and link is not None:
+            r_srv = latency_model.throughput(server) * compute_share
+            bw = link.bandwidth_bps * bandwidth_share
+            p = self.p_offload
+            with np.errstate(divide="ignore", invalid="ignore"):
+                m1 = np.where(p > 0, (self.srv_flops / p) / r_srv + server.overhead_s, 0.0)
+                m2 = np.where(
+                    p > 0,
+                    (self.srv_flops_sq / p) / r_srv**2
+                    + 2 * server.overhead_s * (self.srv_flops / p) / r_srv
+                    + server.overhead_s**2,
+                    0.0,
+                )
+                l1 = np.where(p > 0, (self.wire_bytes / p) / bw, 0.0)
+                l2 = np.where(p > 0, (self.wire_bytes_sq / p) / bw**2, 0.0)
+            w_srv = mg1_wait_vec(lam * p, m1, np.maximum(m2, m1 * m1))
+            w_link = mg1_wait_vec(lam * p, l1, np.maximum(l2, l1 * l1))
+            wait = wait + p * (w_srv + w_link)
+            rho_max = np.maximum(rho_max, np.maximum(lam * p * m1, lam * p * l1))
+        return np.where(np.isfinite(wait), wait, self.OVERLOAD_PENALTY_S * rho_max)
+
+    def best(
+        self,
+        device: DeviceSpec,
+        latency_model: LatencyModel,
+        server: Optional[DeviceSpec] = None,
+        link: Optional[Link] = None,
+        compute_share: float = 1.0,
+        bandwidth_share: float = 1.0,
+        server_wait_s: float = 0.0,
+    ) -> tuple:
+        """(index, latency) of the fastest candidate under one allocation."""
+        lat = self.latencies(
+            device,
+            latency_model,
+            server=server,
+            link=link,
+            compute_share=compute_share,
+            bandwidth_share=bandwidth_share,
+            server_wait_s=server_wait_s,
+        )
+        idx = int(np.argmin(lat))
+        return idx, float(lat[idx])
+
+
+def build_candidates(
+    task: TaskSpec,
+    threshold_grid: Optional[Sequence[float]] = None,
+    max_cuts: Optional[int] = None,
+    prune: bool = True,
+    quantization_levels: Optional[Sequence[str]] = None,
+) -> CandidateSet:
+    """Enumerate, accuracy-filter, and prune a task's candidate plans.
+
+    Pass ``quantization_levels=repro.models.quantization.ALL_LEVELS`` to add
+    the precision knob to the search space (default: fp32 only).
+    """
+    kwargs = {}
+    if threshold_grid is not None:
+        kwargs["threshold_grid"] = tuple(threshold_grid)
+    if max_cuts is not None:
+        kwargs["max_cuts"] = max_cuts
+    if quantization_levels is not None:
+        kwargs["quantization_levels"] = tuple(quantization_levels)
+    feats = enumerate_features(task.model, **kwargs)
+    cs = CandidateSet(task, feats).filter_accuracy(task.accuracy_floor)
+    return cs.pruned() if prune else cs

@@ -1,0 +1,450 @@
+"""The joint optimizer: block-coordinate descent over (surgery, allocation).
+
+The two decision blocks are mutually dependent — the best surgery plan
+depends on the shares a task gets, and the right shares depend on how much
+work each plan ships to the edge — so the solver alternates:
+
+1. **Surgery step.** Holding assignment + shares fixed, each task re-picks
+   the latency-minimal plan from its (accuracy-feasible, dominance-pruned)
+   candidate set.  One vectorized argmin per task.
+2. **Allocation step.** Holding plans fixed, compute and bandwidth shares are
+   re-solved in closed form (sqrt rule); every ``reassign_every`` iterations
+   the task→server matching is re-solved too, and the new matching is kept
+   only if it improves the objective (hill-climbing safeguard).
+
+Each accepted step weakly decreases the objective over a finite solution
+space, so the iteration reaches a fixed point; ``tol`` stops it early when
+relative improvement stalls.  ``restarts`` runs the whole descent from
+perturbed initial assignments and returns the best fixed point found.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import (
+    Allocation,
+    allocate_shares,
+    assign_servers,
+    solution_latencies,
+)
+from repro.core.candidates import CandidateSet, build_candidates
+from repro.core.objectives import Objective
+from repro.core.plan import JointPlan, TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.latency import LatencyModel
+from repro.errors import ConfigError, ConvergenceError
+from repro.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class JointSolverConfig:
+    """Tunables of the BCD joint optimizer."""
+
+    max_iterations: int = 50
+    tol: float = 1e-4  # relative objective improvement to keep iterating
+    reassign_every: int = 5  # re-run Hungarian matching every k iterations
+    local_search: bool = True  # per-task best-response reassignment sweeps
+    refine_thresholds: bool = True  # per-exit threshold polish on the winner
+    restarts: int = 1  # independent descents from perturbed starts
+    include_queueing: bool = True
+    threshold_grid: Optional[Tuple[float, ...]] = None
+    max_cuts: Optional[int] = None
+    strict_convergence: bool = False  # raise instead of warn on budget hit
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+        if self.tol < 0:
+            raise ConfigError("tol must be >= 0")
+        if self.reassign_every < 1:
+            raise ConfigError("reassign_every must be >= 1")
+        if self.restarts < 1:
+            raise ConfigError("restarts must be >= 1")
+
+
+@dataclass
+class JointResult:
+    """Solver output: the plan plus convergence diagnostics."""
+
+    plan: JointPlan
+    iterations: int
+    converged: bool
+    history: List[float] = field(default_factory=list)  # objective per iteration
+    candidate_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class JointOptimizer:
+    """Joint model-surgery + resource-allocation solver for one cluster."""
+
+    def __init__(
+        self,
+        cluster: EdgeCluster,
+        latency_model: Optional[LatencyModel] = None,
+        objective: Objective = Objective.AVG_LATENCY,
+        config: Optional[JointSolverConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.latency_model = latency_model or LatencyModel()
+        self.objective = objective
+        self.config = config or JointSolverConfig()
+
+    # -- public API -------------------------------------------------------------
+
+    def solve(
+        self,
+        tasks: Sequence[TaskSpec],
+        candidates: Optional[Sequence[CandidateSet]] = None,
+        seed: SeedLike = None,
+    ) -> JointResult:
+        """Solve the joint problem for ``tasks``.
+
+        Precomputed ``candidates`` (one set per task, same order) can be
+        passed to amortize enumeration across repeated solves — e.g. the
+        dynamic-bandwidth experiment re-solves every trace change-point.
+        """
+        if not tasks:
+            raise ConfigError("no tasks to optimize")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate task names: {names}")
+        for t in tasks:
+            self.cluster.by_name(t.device_name)  # validates membership
+
+        if candidates is None:
+            candsets = [
+                build_candidates(
+                    t,
+                    threshold_grid=self.config.threshold_grid,
+                    max_cuts=self.config.max_cuts,
+                )
+                for t in tasks
+            ]
+        else:
+            if len(candidates) != len(tasks):
+                raise ConfigError("candidates/tasks length mismatch")
+            candsets = list(candidates)
+
+        rng = as_generator(seed)
+        best: Optional[Tuple[float, List[int], Allocation, List[float], int, bool]] = None
+        for r in range(self.config.restarts):
+            out = self._descend(tasks, candsets, rng, perturb=(r > 0))
+            if best is None or out[0] < best[0]:
+                best = out
+        assert best is not None
+        obj, plan_idx, alloc, history, iters, converged = best
+        if not converged and self.config.strict_convergence:
+            raise ConvergenceError(
+                f"joint optimizer did not converge in {self.config.max_iterations} iterations"
+            )
+        # counts reflect the enumerated search space (before any refinement
+        # appends the polished plan as an extra candidate)
+        counts = {t.name: len(c) for t, c in zip(tasks, candsets)}
+        if self.config.refine_thresholds:
+            candsets, plan_idx, alloc, obj = self._refine(
+                tasks, list(candsets), list(plan_idx), alloc, obj
+            )
+        jp = self._package(tasks, candsets, plan_idx, alloc, obj)
+        return JointResult(
+            plan=jp,
+            iterations=iters,
+            converged=converged,
+            history=history,
+            candidate_counts=counts,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _descend(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+        rng: np.random.Generator,
+        perturb: bool,
+    ) -> Tuple[float, List[int], Allocation, List[float], int, bool]:
+        cfg = self.config
+        n = len(tasks)
+        assignment = assign_servers(tasks, candsets, self.cluster, self.latency_model)
+        if perturb:
+            # randomize a third of the assignments across servers/local
+            m = self.cluster.num_servers
+            for i in rng.choice(n, size=max(1, n // 3), replace=False):
+                choice = int(rng.integers(m + 1))
+                assignment[i] = None if choice == m else choice
+
+        plan_idx = [0] * n
+        # bootstrap plans under optimistic full shares
+        alloc = Allocation(list(assignment), np.ones(n), np.ones(n))
+        plan_idx = self._surgery_step(tasks, candsets, alloc)
+        alloc = allocate_shares(
+            tasks, candsets, plan_idx, assignment, self.cluster, self.latency_model, self.objective
+        )
+        obj = self._objective(tasks, candsets, plan_idx, alloc)
+
+        history = [obj]
+        converged = False
+        iters = 0
+        for it in range(1, cfg.max_iterations + 1):
+            iters = it
+            # surgery step
+            new_idx = self._surgery_step(tasks, candsets, alloc)
+            new_alloc = allocate_shares(
+                tasks, candsets, new_idx, alloc.assignment, self.cluster, self.latency_model, self.objective
+            )
+            new_obj = self._objective(tasks, candsets, new_idx, new_alloc)
+            if new_obj <= obj:
+                plan_idx, alloc, obj = new_idx, new_alloc, new_obj
+
+            # periodic re-assignment (accepted only on improvement)
+            if it % cfg.reassign_every == 0:
+                cand_assignment = assign_servers(
+                    tasks, candsets, self.cluster, self.latency_model
+                )
+                cand_alloc = allocate_shares(
+                    tasks, candsets, plan_idx, cand_assignment, self.cluster, self.latency_model, self.objective
+                )
+                cand_obj = self._objective(tasks, candsets, plan_idx, cand_alloc)
+                if cand_obj < obj:
+                    alloc, obj = cand_alloc, cand_obj
+                if cfg.local_search:
+                    plan_idx, alloc, obj = self._local_search(
+                        tasks, candsets, plan_idx, alloc, obj
+                    )
+
+            history.append(obj)
+            prev = history[-2]
+            stalled = prev == obj or (
+                math.isfinite(prev)
+                and math.isfinite(obj)
+                and (prev - obj) <= cfg.tol * max(abs(prev), 1e-12)
+            )
+            if stalled:
+                # before declaring convergence, give local search one shot at
+                # escaping the fixed point (unless it just ran this iteration)
+                if cfg.local_search and it % cfg.reassign_every != 0:
+                    plan_idx, alloc, new_obj = self._local_search(
+                        tasks, candsets, plan_idx, alloc, obj
+                    )
+                    if new_obj < obj - cfg.tol * max(abs(obj), 1e-12):
+                        obj = new_obj
+                        history[-1] = obj
+                        continue
+                    obj = new_obj
+                    history[-1] = obj
+                converged = True
+                break
+        return obj, plan_idx, alloc, history, iters, converged
+
+    def _refine(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: List[CandidateSet],
+        plan_idx: List[int],
+        alloc: Allocation,
+        obj: float,
+    ) -> Tuple[List[CandidateSet], List[int], Allocation, float]:
+        """Per-exit threshold polish of the winning solution.
+
+        Each task's chosen plan is refined by coordinate descent over a fine
+        per-exit threshold grid (see :func:`repro.core.surgery.refine_thresholds`)
+        under its final shares; shares are then re-solved once and the whole
+        refined solution is accepted only if the global objective improves.
+        """
+        from repro.core.surgery import refine_thresholds
+
+        new_candsets = list(candsets)
+        new_idx = list(plan_idx)
+        touched = False
+        for i, task in enumerate(tasks):
+            cs = candsets[i]
+            feats = cs.features[plan_idx[i]]
+            if len(feats.plan.kept_exits) <= 1:
+                continue  # no early exits to tune
+            device = self.cluster.by_name(task.device_name)
+            s = alloc.assignment[i]
+            server = self.cluster.servers[s] if s is not None else None
+            link = (
+                self.cluster.link(task.device_name, server.name)
+                if server is not None
+                else None
+            )
+            refined_plan, refined_feats = refine_thresholds(
+                task.model,
+                feats.plan,
+                device,
+                self.latency_model,
+                task.accuracy_floor,
+                server=server,
+                link=link,
+                compute_share=float(alloc.compute_shares[i]),
+                bandwidth_share=float(alloc.bandwidth_shares[i]),
+            )
+            if refined_plan != feats.plan:
+                new_candsets[i] = CandidateSet(cs.task, list(cs.features) + [refined_feats])
+                new_idx[i] = len(cs.features)
+                touched = True
+        if not touched:
+            return candsets, plan_idx, alloc, obj
+        new_alloc = allocate_shares(
+            tasks, new_candsets, new_idx, alloc.assignment,
+            self.cluster, self.latency_model, self.objective,
+        )
+        new_obj = self._objective(tasks, new_candsets, new_idx, new_alloc)
+        if new_obj < obj:
+            return new_candsets, new_idx, new_alloc, new_obj
+        return candsets, plan_idx, alloc, obj
+
+    def _local_search(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+        plan_idx: List[int],
+        alloc: Allocation,
+        obj: float,
+    ) -> Tuple[List[int], Allocation, float]:
+        """One greedy sweep of single-task (server, plan) moves.
+
+        For each task, try every alternative placement (each server and
+        local) with the plan re-picked for that placement; accept the first
+        configuration that improves the *global* objective (shares re-solved
+        in closed form for each trial).  Escapes assignment local optima the
+        Hungarian step cannot see because it prices all tasks at once.
+        """
+        m = self.cluster.num_servers
+        assignment = list(alloc.assignment)
+        for i, task in enumerate(tasks):
+            device = self.cluster.by_name(task.device_name)
+            current = assignment[i]
+            best = (obj, assignment[i], plan_idx[i], alloc)
+            for option in [None] + list(range(m)):
+                if option == current:
+                    continue
+                trial_assign = list(assignment)
+                trial_assign[i] = option
+                trial_idx = list(plan_idx)
+                rate = task.arrival_rate if self.config.include_queueing else None
+                if option is None:
+                    lat = candsets[i].latencies(
+                        device, self.latency_model, arrival_rate=rate
+                    )
+                else:
+                    server = self.cluster.servers[option]
+                    link = self.cluster.link(task.device_name, server.name)
+                    prov = allocate_shares(
+                        tasks, candsets, trial_idx, trial_assign,
+                        self.cluster, self.latency_model, self.objective,
+                    )
+                    lat = candsets[i].latencies(
+                        device,
+                        self.latency_model,
+                        server=server,
+                        link=link,
+                        compute_share=float(prov.compute_shares[i]),
+                        bandwidth_share=float(prov.bandwidth_shares[i]),
+                        arrival_rate=rate,
+                    )
+                j = int(np.argmin(lat))
+                if not np.isfinite(lat[j]):
+                    continue
+                trial_idx[i] = j
+                trial_alloc = allocate_shares(
+                    tasks, candsets, trial_idx, trial_assign,
+                    self.cluster, self.latency_model, self.objective,
+                )
+                trial_obj = self._objective(tasks, candsets, trial_idx, trial_alloc)
+                if trial_obj < best[0]:
+                    best = (trial_obj, option, j, trial_alloc)
+            if best[0] < obj:
+                obj, assignment[i], plan_idx[i], alloc = (
+                    best[0],
+                    best[1],
+                    best[2],
+                    best[3],
+                )
+        return plan_idx, alloc, obj
+
+    def _surgery_step(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+        alloc: Allocation,
+    ) -> List[int]:
+        """Per task, pick the latency-minimal candidate under current shares."""
+        rate = lambda t: (t.arrival_rate if self.config.include_queueing else None)
+        out: List[int] = []
+        for i, task in enumerate(tasks):
+            device = self.cluster.by_name(task.device_name)
+            s = alloc.assignment[i]
+            if s is None:
+                lat = candsets[i].latencies(
+                    device, self.latency_model, arrival_rate=rate(task)
+                )
+            else:
+                server = self.cluster.servers[s]
+                link = self.cluster.link(task.device_name, server.name)
+                lat = candsets[i].latencies(
+                    device,
+                    self.latency_model,
+                    server=server,
+                    link=link,
+                    compute_share=float(alloc.compute_shares[i]),
+                    bandwidth_share=float(alloc.bandwidth_shares[i]),
+                    arrival_rate=rate(task),
+                )
+            out.append(int(np.argmin(lat)))
+        return out
+
+    def _objective(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+        plan_idx: Sequence[int],
+        alloc: Allocation,
+    ) -> float:
+        # internal search objective: graded overload surrogate, so descent
+        # keeps a gradient even when every reachable solution is overloaded
+        # (the packaged plan reports honest inf for unstable tasks)
+        lat = solution_latencies(
+            tasks,
+            candsets,
+            plan_idx,
+            alloc,
+            self.cluster,
+            self.latency_model,
+            include_queueing=self.config.include_queueing,
+            overload="penalty",
+        )
+        return self.objective.evaluate(lat, tasks)
+
+    def _package(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+        plan_idx: Sequence[int],
+        alloc: Allocation,
+        obj: float,
+    ) -> JointPlan:
+        # report honest latencies/objective (inf for unstable tasks) — the
+        # graded surrogate in `obj` was only for steering the search
+        lat = solution_latencies(
+            tasks,
+            candsets,
+            plan_idx,
+            alloc,
+            self.cluster,
+            self.latency_model,
+            include_queueing=self.config.include_queueing,
+        )
+        obj = self.objective.evaluate(lat, tasks)
+        return JointPlan(
+            assignment={t.name: alloc.assignment[i] for i, t in enumerate(tasks)},
+            features={t.name: candsets[i].features[plan_idx[i]] for i, t in enumerate(tasks)},
+            compute_shares={t.name: float(alloc.compute_shares[i]) for i, t in enumerate(tasks)},
+            bandwidth_shares={t.name: float(alloc.bandwidth_shares[i]) for i, t in enumerate(tasks)},
+            latencies={t.name: float(lat[i]) for i, t in enumerate(tasks)},
+            objective_value=float(obj),
+        )

@@ -1,0 +1,68 @@
+"""Optimization objectives over per-task expected latencies.
+
+All objectives are *minimized*.  Deadline satisfaction is reported as a miss
+fraction so that lower is uniformly better; analysis code converts back to
+satisfaction ratios for tables.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.plan import TaskSpec
+from repro.errors import ConfigError
+
+
+class Objective(str, Enum):
+    """Supported joint-optimization objectives."""
+
+    #: weight-and-rate-weighted mean expected latency
+    AVG_LATENCY = "avg_latency"
+    #: worst task latency (min-max fairness)
+    MAX_LATENCY = "max_latency"
+    #: fraction of tasks whose expected latency exceeds their deadline,
+    #: tie-broken by normalized latency so gradients exist below 100%
+    DEADLINE_MISS = "deadline_miss"
+
+    def evaluate(self, latencies: np.ndarray, tasks: Sequence[TaskSpec]) -> float:
+        """Scalar objective value; ``inf`` propagates from infeasible tasks."""
+        lat = np.asarray(latencies, dtype=float)
+        if lat.shape != (len(tasks),):
+            raise ConfigError(
+                f"latencies shape {lat.shape} != number of tasks {len(tasks)}"
+            )
+        if np.any(np.isinf(lat)):
+            return float("inf")
+        if self is Objective.AVG_LATENCY:
+            w = np.array([t.weight for t in tasks])
+            return float(np.dot(w, lat) / w.sum())
+        if self is Objective.MAX_LATENCY:
+            return float(lat.max())
+        if self is Objective.DEADLINE_MISS:
+            deadlines = np.array([t.deadline_s for t in tasks])
+            norm = lat / deadlines
+            miss = float(np.mean(norm > 1.0))
+            # secondary term keeps the objective informative when all/none
+            # miss; scaled << 1 so it never outweighs one missed deadline
+            return miss + 1e-3 * float(np.mean(np.minimum(norm, 10.0)))
+        raise ConfigError(f"unhandled objective {self}")  # pragma: no cover
+
+    def task_weight(self, task: TaskSpec) -> float:
+        """Per-task weight used by the closed-form share allocation.
+
+        For deadline objectives, urgency (1/deadline) multiplies the task's
+        own weight so tight-deadline tasks receive larger shares.
+        """
+        if self is Objective.DEADLINE_MISS:
+            return task.weight / task.deadline_s
+        return task.weight
+
+
+def deadline_miss_fraction(latencies: np.ndarray, tasks: Sequence[TaskSpec]) -> float:
+    """Plain miss fraction (no tie-break term), for reporting."""
+    lat = np.asarray(latencies, dtype=float)
+    deadlines = np.array([t.deadline_s for t in tasks])
+    return float(np.mean(lat > deadlines))

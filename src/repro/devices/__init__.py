@@ -1,0 +1,31 @@
+"""Heterogeneous device substrate: specs, latency prediction, energy.
+
+The paper's testbed — embedded end devices and edge servers of widely varying
+capability — is replaced here by :class:`DeviceSpec` objects whose effective
+throughput (peak FLOP/s × per-layer-class efficiency) is calibrated against
+public Neurosurgeon/Edgent-class measurements.  The optimizer only ever sees
+latencies produced by :class:`LatencyModel`, so the substitution is invisible
+to the algorithms under study.
+"""
+
+from repro.devices.cluster import EdgeCluster
+from repro.devices.device import DeviceSpec
+from repro.devices.energy import EnergyModel
+from repro.devices.latency import LatencyModel
+from repro.devices.presets import (
+    DEVICE_PRESETS,
+    SERVER_PRESETS,
+    device_preset,
+    heterogeneous_servers,
+)
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "EdgeCluster",
+    "EnergyModel",
+    "LatencyModel",
+    "SERVER_PRESETS",
+    "device_preset",
+    "heterogeneous_servers",
+]

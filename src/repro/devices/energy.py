@@ -1,0 +1,68 @@
+"""Per-inference energy accounting (secondary metric, experiment E13).
+
+Energy for one request seen from the *end device* — the battery-constrained
+party — decomposes into compute energy while the head runs locally, radio
+energy while transmitting the boundary activation, and idle energy while
+waiting for the server's reply.  Server-side energy is reported separately
+(it matters for operator cost, not battery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.device import DeviceSpec
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent per phase of one inference, device perspective."""
+
+    compute_j: float
+    tx_j: float
+    idle_wait_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.tx_j + self.idle_wait_j
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Maps phase durations to joules using :class:`DeviceSpec` power draw."""
+
+    def device_energy(
+        self,
+        device: DeviceSpec,
+        compute_s: float,
+        tx_s: float,
+        wait_s: float,
+    ) -> EnergyBreakdown:
+        """Energy of one request on the end device.
+
+        ``compute_s``: local head execution time; ``tx_s``: time on air
+        (upload + download); ``wait_s``: time blocked on the remote side.
+        """
+        for label, v in (("compute_s", compute_s), ("tx_s", tx_s), ("wait_s", wait_s)):
+            if v < 0:
+                raise ConfigError(f"negative duration {label}={v}")
+        return EnergyBreakdown(
+            compute_j=device.busy_power_w * compute_s,
+            tx_j=(device.idle_power_w + device.tx_power_w) * tx_s,
+            idle_wait_j=device.idle_power_w * wait_s,
+        )
+
+    def server_energy(self, server: DeviceSpec, compute_s: float, share: float = 1.0) -> float:
+        """Joules attributable to one request on a shared server.
+
+        A request occupying ``share`` of the machine for ``compute_s``
+        seconds is charged its share of the dynamic power (busy - idle)
+        plus its share of idle power.
+        """
+        if compute_s < 0:
+            raise ConfigError(f"negative compute_s {compute_s}")
+        if not (0.0 < share <= 1.0 + 1e-12):
+            raise ConfigError(f"share must be in (0,1], got {share}")
+        dynamic = (server.busy_power_w - server.idle_power_w) * share
+        return (dynamic + server.idle_power_w * share) * compute_s

@@ -1,0 +1,160 @@
+"""Device presets calibrated to public edge-inference measurements.
+
+Effective throughputs (peak × conv efficiency) are chosen so single-model
+latencies land in the ranges reported by Neurosurgeon / Edgent / LEIME-class
+papers — e.g. VGG-16 in the low seconds on a Raspberry Pi-class board,
+tens of milliseconds on a discrete-GPU edge server.  Absolute fidelity is
+not required (see DESIGN.md §3); *relative* capability is what shapes the
+optimization landscape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.device import DeviceSpec
+from repro.errors import ConfigError
+from repro.rng import SeedLike, as_generator
+
+#: End devices (request sources).
+DEVICE_PRESETS: Dict[str, DeviceSpec] = {
+    # ~2.4 GFLOP/s effective on conv: VGG16 ≈ 13 s, MobileNetV2 ≈ 0.26 s
+    "raspberry_pi3": DeviceSpec(
+        name="raspberry_pi3",
+        kind="end_device",
+        peak_flops=4.3e9,
+        overhead_s=5e-3,
+        memory_bytes=1e9,
+        idle_power_w=1.9,
+        busy_power_w=5.1,
+        tx_power_w=0.9,
+    ),
+    # ~7 GFLOP/s effective
+    "raspberry_pi4": DeviceSpec(
+        name="raspberry_pi4",
+        kind="end_device",
+        peak_flops=13e9,
+        overhead_s=4e-3,
+        memory_bytes=4e9,
+        idle_power_w=2.7,
+        busy_power_w=6.4,
+        tx_power_w=1.0,
+    ),
+    # small GPU: ~65 GFLOP/s effective fp32 in practice
+    "jetson_nano": DeviceSpec(
+        name="jetson_nano",
+        kind="end_device",
+        peak_flops=120e9,
+        overhead_s=3e-3,
+        memory_bytes=4e9,
+        idle_power_w=2.0,
+        busy_power_w=10.0,
+        tx_power_w=1.2,
+    ),
+    # mid-range phone SoC
+    "smartphone": DeviceSpec(
+        name="smartphone",
+        kind="end_device",
+        peak_flops=40e9,
+        overhead_s=3e-3,
+        memory_bytes=6e9,
+        idle_power_w=1.0,
+        busy_power_w=4.0,
+        tx_power_w=1.5,
+    ),
+}
+
+#: Edge/cloud servers (shared by many tasks).
+SERVER_PRESETS: Dict[str, DeviceSpec] = {
+    # many-core Xeon, fp32 AVX: ~250 GFLOP/s effective
+    "edge_cpu": DeviceSpec(
+        name="edge_cpu",
+        kind="server",
+        peak_flops=450e9,
+        overhead_s=1.5e-3,
+        memory_bytes=64e9,
+        idle_power_w=80.0,
+        busy_power_w=220.0,
+    ),
+    # embedded server GPU (Jetson TX2 / Xavier class)
+    "edge_tx2": DeviceSpec(
+        name="edge_tx2",
+        kind="server",
+        peak_flops=650e9,
+        overhead_s=2e-3,
+        memory_bytes=8e9,
+        idle_power_w=5.0,
+        busy_power_w=15.0,
+    ),
+    # discrete-GPU edge box (GTX 1080 Ti class): ~3.5 TFLOP/s effective
+    "edge_gpu": DeviceSpec(
+        name="edge_gpu",
+        kind="server",
+        peak_flops=6.5e12,
+        overhead_s=1e-3,
+        memory_bytes=32e9,
+        idle_power_w=60.0,
+        busy_power_w=280.0,
+    ),
+    # datacenter GPU reachable over a WAN hop (V100 class)
+    "cloud_gpu": DeviceSpec(
+        name="cloud_gpu",
+        kind="server",
+        peak_flops=14e12,
+        overhead_s=1e-3,
+        memory_bytes=128e9,
+        idle_power_w=70.0,
+        busy_power_w=300.0,
+    ),
+}
+
+
+def device_preset(name: str) -> DeviceSpec:
+    """Look up an end-device or server preset by name."""
+    if name in DEVICE_PRESETS:
+        return DEVICE_PRESETS[name]
+    if name in SERVER_PRESETS:
+        return SERVER_PRESETS[name]
+    raise ConfigError(
+        f"unknown preset {name!r}; devices: {sorted(DEVICE_PRESETS)}, "
+        f"servers: {sorted(SERVER_PRESETS)}"
+    )
+
+
+def heterogeneous_servers(
+    n: int, spread: float = 4.0, base: str = "edge_cpu", seed: SeedLike = None
+) -> List[DeviceSpec]:
+    """Generate ``n`` servers with capabilities log-uniform in ``[1, spread]×base``.
+
+    ``spread`` is the heterogeneity knob of experiment E10: 1.0 produces a
+    homogeneous cluster; larger values stretch the fastest-to-slowest ratio.
+    """
+    if n <= 0:
+        raise ConfigError(f"need n >= 1 servers, got {n}")
+    if spread < 1.0:
+        raise ConfigError(f"spread must be >= 1, got {spread}")
+    proto = SERVER_PRESETS[base] if base in SERVER_PRESETS else device_preset(base)
+    rng = as_generator(seed)
+    if n == 1:
+        factors = [spread**0.5]
+    else:
+        # deterministic spacing + small jitter: covers [1, spread] evenly
+        import numpy as np
+
+        grid = np.logspace(0.0, np.log10(spread), n)
+        jitter = rng.uniform(0.9, 1.1, size=n)
+        factors = list(grid * jitter)
+    return [
+        DeviceSpec(
+            name=f"{base}_{i}",
+            kind="server",
+            peak_flops=proto.peak_flops * f,
+            efficiency=dict(proto.efficiency),
+            overhead_s=proto.overhead_s,
+            memory_bytes=proto.memory_bytes,
+            idle_power_w=proto.idle_power_w,
+            busy_power_w=proto.busy_power_w,
+            tx_power_w=proto.tx_power_w,
+        )
+        for i, f in enumerate(factors)
+    ]

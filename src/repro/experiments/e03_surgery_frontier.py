@@ -1,0 +1,81 @@
+"""E3 (table): the accuracy–latency frontier of model surgery.
+
+For each zoo model, sweep the accuracy floor and report the fastest surgery
+plan meeting it (single task, fixed device/server/bandwidth).  Shape: latency
+rises monotonically with the floor; the gap between the loosest and tightest
+floor quantifies how much latency early exits buy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.candidates import build_candidates
+from repro.core.plan import TaskSpec
+from repro.core.joint import JointOptimizer
+from repro.devices.cluster import EdgeCluster
+from repro.devices.presets import SERVER_PRESETS, device_preset
+from repro.errors import InfeasibleError
+from repro.experiments.common import ExperimentResult
+from repro.network.link import Link
+from repro.units import mbps
+from repro.workloads.scenarios import multiexit_model
+
+DEFAULT_MODELS = ("alexnet", "vgg16", "resnet18", "resnet50", "mobilenet_v2")
+DEFAULT_FLOORS = (0.50, 0.55, 0.60, 0.65, 0.70)
+
+
+def run(
+    models: Sequence[str] = DEFAULT_MODELS,
+    floors: Sequence[float] = DEFAULT_FLOORS,
+    device_name: str = "raspberry_pi4",
+    server_name: str = "edge_gpu",
+    bandwidth_mbps: float = 40.0,
+) -> ExperimentResult:
+    """Report best (latency, plan shape) per (model, accuracy floor)."""
+    device = dataclasses.replace(device_preset(device_name), name="dev0")
+    server = dataclasses.replace(SERVER_PRESETS[server_name], name="srv0")
+    cluster = EdgeCluster.star([device], [server], Link(mbps(bandwidth_mbps), rtt_s=10e-3))
+
+    rows = []
+    extras: Dict[str, Dict[float, float]] = {}
+    for mname in models:
+        model = multiexit_model(mname, 4, "mixed")
+        extras[mname] = {}
+        for floor in floors:
+            task = TaskSpec(
+                "t0", model, "dev0", deadline_s=1.0, accuracy_floor=floor, arrival_rate=0.5
+            )
+            try:
+                cands = [build_candidates(task)]
+            except InfeasibleError:
+                rows.append((mname, floor, float("nan"), float("nan"), "-", "-"))
+                extras[mname][floor] = float("inf")
+                continue
+            plan = JointOptimizer(cluster).solve([task], candidates=cands).plan
+            f = plan.features["t0"]
+            rows.append(
+                (
+                    mname,
+                    floor,
+                    plan.latencies["t0"] * 1e3,
+                    f.accuracy,
+                    f"{len(f.plan.kept_exits) - 1} exits@{f.plan.thresholds[0] if len(f.plan.thresholds) > 1 else 0:.2f}",
+                    f"cut@{f.plan.partition_cut}",
+                )
+            )
+            extras[mname][floor] = plan.latencies["t0"]
+    return ExperimentResult(
+        exp_id="E3",
+        title="accuracy–latency frontier of surgery plans",
+        headers=["model", "floor", "latency_ms", "achieved_acc", "exit_config", "partition"],
+        rows=rows,
+        notes=[
+            "latency is non-decreasing in the accuracy floor; loose floors let "
+            "aggressive exits cut latency, tight floors force deep execution"
+        ],
+        extras={"frontier": extras},
+    )

@@ -1,0 +1,67 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    a01_candidate_budget,
+    a02_quantization,
+    a03_pruning,
+    a04_queue_model,
+    a05_fairness,
+    a06_refinement,
+    e01_layer_profiles,
+    e02_bandwidth_sweep,
+    e03_surgery_frontier,
+    e04_latency_vs_load,
+    e05_deadline_ratio,
+    e06_speedup_dist,
+    e07_convergence,
+    e08_optimality_gap,
+    e09_scalability,
+    e10_heterogeneity,
+    e11_dynamic,
+    e12_ablation,
+    e13_energy,
+    e14_queueing_validation,
+    e15_admission,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e01_layer_profiles.run,
+    "E2": e02_bandwidth_sweep.run,
+    "E3": e03_surgery_frontier.run,
+    "E4": e04_latency_vs_load.run,
+    "E5": e05_deadline_ratio.run,
+    "E6": e06_speedup_dist.run,
+    "E7": e07_convergence.run,
+    "E8": e08_optimality_gap.run,
+    "E9": e09_scalability.run,
+    "E10": e10_heterogeneity.run,
+    "E11": e11_dynamic.run,
+    "E12": e12_ablation.run,
+    "E13": e13_energy.run,
+    "E14": e14_queueing_validation.run,
+    "E15": e15_admission.run,
+    # ablations of design choices (DESIGN.md §6-§7)
+    "A1": a01_candidate_budget.run,
+    "A2": a02_quantization.run,
+    "A3": a03_pruning.run,
+    "A4": a04_queue_model.run,
+    "A5": a05_fairness.run,
+    "A6": a06_refinement.run,
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id (e.g. ``run_experiment("E2")``)."""
+    try:
+        fn = EXPERIMENTS[exp_id.upper()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)

@@ -1,0 +1,134 @@
+"""JSON serialization for plans and experiment results.
+
+Deployments need to persist the controller's decisions (to apply them, audit
+them, or diff them across re-plans), and experiment pipelines need
+machine-readable outputs.  Only *decisions and measurements* serialize —
+models, clusters, and candidate sets are code-defined and reproducible from
+seeds, so they are referenced by name rather than embedded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.plan import JointPlan, PlanFeatures, SurgeryPlan
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+
+
+def surgery_plan_to_dict(plan: SurgeryPlan) -> Dict[str, Any]:
+    """Plain-dict form of a surgery plan."""
+    return {
+        "kept_exits": list(plan.kept_exits),
+        "thresholds": list(plan.thresholds),
+        "partition_cut": plan.partition_cut,
+        "quantization": plan.quantization,
+    }
+
+
+def surgery_plan_from_dict(d: Dict[str, Any]) -> SurgeryPlan:
+    """Inverse of :func:`surgery_plan_to_dict` (validates on construction)."""
+    try:
+        return SurgeryPlan(
+            kept_exits=tuple(int(k) for k in d["kept_exits"]),
+            thresholds=tuple(float(t) for t in d["thresholds"]),
+            partition_cut=int(d["partition_cut"]),
+            quantization=str(d.get("quantization", "fp32")),
+        )
+    except KeyError as e:
+        raise ConfigError(f"surgery plan dict missing key {e}") from None
+
+
+def joint_plan_to_dict(plan: JointPlan) -> Dict[str, Any]:
+    """Plain-dict form of a complete joint plan."""
+    return {
+        "objective_value": plan.objective_value,
+        "tasks": {
+            name: {
+                "server": plan.assignment[name],
+                "surgery": surgery_plan_to_dict(plan.features[name].plan),
+                "compute_share": plan.compute_shares[name],
+                "bandwidth_share": plan.bandwidth_shares[name],
+                "predicted_latency_s": plan.latencies[name],
+                "expected_accuracy": plan.features[name].accuracy,
+                "features": {
+                    "dev_flops": plan.features[name].dev_flops,
+                    "srv_flops": plan.features[name].srv_flops,
+                    "wire_bytes": plan.features[name].wire_bytes,
+                    "p_offload": plan.features[name].p_offload,
+                    "dev_flops_sq": plan.features[name].dev_flops_sq,
+                    "srv_flops_sq": plan.features[name].srv_flops_sq,
+                    "wire_bytes_sq": plan.features[name].wire_bytes_sq,
+                },
+            }
+            for name in sorted(plan.latencies)
+        },
+    }
+
+
+def joint_plan_from_dict(d: Dict[str, Any]) -> JointPlan:
+    """Inverse of :func:`joint_plan_to_dict`."""
+    try:
+        tasks = d["tasks"]
+        assignment, features, xs, ys, lats = {}, {}, {}, {}, {}
+        for name, entry in tasks.items():
+            assignment[name] = entry["server"]
+            f = entry["features"]
+            features[name] = PlanFeatures(
+                plan=surgery_plan_from_dict(entry["surgery"]),
+                dev_flops=float(f["dev_flops"]),
+                srv_flops=float(f["srv_flops"]),
+                wire_bytes=float(f["wire_bytes"]),
+                p_offload=float(f["p_offload"]),
+                accuracy=float(entry["expected_accuracy"]),
+                dev_flops_sq=float(f.get("dev_flops_sq", 0.0)),
+                srv_flops_sq=float(f.get("srv_flops_sq", 0.0)),
+                wire_bytes_sq=float(f.get("wire_bytes_sq", 0.0)),
+            )
+            xs[name] = float(entry["compute_share"])
+            ys[name] = float(entry["bandwidth_share"])
+            lats[name] = float(entry["predicted_latency_s"])
+        return JointPlan(
+            assignment=assignment,
+            features=features,
+            compute_shares=xs,
+            bandwidth_shares=ys,
+            latencies=lats,
+            objective_value=float(d["objective_value"]),
+        )
+    except KeyError as e:
+        raise ConfigError(f"joint plan dict missing key {e}") from None
+
+
+def save_joint_plan(plan: JointPlan, path: str) -> None:
+    """Write a joint plan to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(joint_plan_to_dict(plan), fh, indent=2, sort_keys=True)
+
+
+def load_joint_plan(path: str) -> JointPlan:
+    """Read a joint plan from a JSON file."""
+    with open(path) as fh:
+        return joint_plan_from_dict(json.load(fh))
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Machine-readable form of an experiment result (tables + notes).
+
+    ``extras`` are intentionally dropped: they hold arbitrary in-memory
+    objects (arrays, profile tables) meant for tests, not archives.
+    """
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(r) for r in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def save_experiment_result(result: ExperimentResult, path: str) -> None:
+    """Write an experiment result's tables to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(experiment_result_to_dict(result), fh, indent=2, default=str)

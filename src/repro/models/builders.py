@@ -1,0 +1,205 @@
+"""Graph construction helpers shared by the model zoo.
+
+:class:`GraphBuilder` accumulates layers and edges with a "current tail"
+cursor so sequential sections read like a layer list, while still allowing
+explicit fan-out/fan-in for residual and Inception blocks.  The zoo modules
+compose the block helpers below (``conv_bn_relu``, ``residual_block``,
+``separable_block``, ``inception_module``) into full architectures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Input,
+    Layer,
+    Pool,
+    Shape,
+)
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`ModelGraph`.
+
+    The builder tracks the most recently added node; ``add`` with no explicit
+    predecessor extends from it, so straight-line sections need no wiring.
+    """
+
+    def __init__(self, name: str, input_shape: Shape) -> None:
+        self.name = name
+        self._layers: dict[str, Layer] = {}
+        self._edges: List[Tuple[str, str]] = []
+        inp = Input("input", shape=tuple(input_shape))
+        self._layers["input"] = inp
+        self._tail = "input"
+
+    @property
+    def tail(self) -> str:
+        """Name of the node new layers attach to by default."""
+        return self._tail
+
+    def add(self, layer: Layer, after: Optional[str] = None) -> str:
+        """Append ``layer`` after ``after`` (default: current tail)."""
+        if layer.name in self._layers:
+            raise ModelError(f"{self.name}: duplicate layer name {layer.name!r}")
+        src = after if after is not None else self._tail
+        if src not in self._layers:
+            raise ModelError(f"{self.name}: unknown predecessor {src!r}")
+        self._layers[layer.name] = layer
+        self._edges.append((src, layer.name))
+        self._tail = layer.name
+        return layer.name
+
+    def merge(self, layer: Layer, inputs: Sequence[str]) -> str:
+        """Append a merge layer combining ``inputs``."""
+        if layer.name in self._layers:
+            raise ModelError(f"{self.name}: duplicate layer name {layer.name!r}")
+        for src in inputs:
+            if src not in self._layers:
+                raise ModelError(f"{self.name}: unknown merge input {src!r}")
+        self._layers[layer.name] = layer
+        self._edges.extend((src, layer.name) for src in inputs)
+        self._tail = layer.name
+        return layer.name
+
+    def build(self) -> ModelGraph:
+        """Finalize into a validated :class:`ModelGraph`."""
+        return ModelGraph(self.name, self._layers, self._edges)
+
+
+# --- reusable blocks ---------------------------------------------------------
+
+
+def conv_bn_relu(
+    b: GraphBuilder,
+    prefix: str,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    after: Optional[str] = None,
+    batchnorm: bool = True,
+) -> str:
+    """Conv → (BN) → ReLU; returns the ReLU node name."""
+    b.add(
+        Conv2D(
+            f"{prefix}_conv",
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            bias=not batchnorm,
+        ),
+        after=after,
+    )
+    if batchnorm:
+        b.add(BatchNorm(f"{prefix}_bn"))
+    return b.add(Activation(f"{prefix}_relu"))
+
+
+def residual_block(
+    b: GraphBuilder,
+    prefix: str,
+    out_channels: int,
+    stride: int = 1,
+    bottleneck: bool = False,
+    after: Optional[str] = None,
+) -> str:
+    """ResNet basic or bottleneck block with identity/projection shortcut."""
+    entry = after if after is not None else b.tail
+    if bottleneck:
+        mid = out_channels // 4
+        conv_bn_relu(b, f"{prefix}_a", mid, 1, stride, 0, after=entry)
+        conv_bn_relu(b, f"{prefix}_b", mid, 3, 1, 1)
+        b.add(Conv2D(f"{prefix}_c_conv", out_channels=out_channels, kernel=1, bias=False))
+        b.add(BatchNorm(f"{prefix}_c_bn"))
+    else:
+        conv_bn_relu(b, f"{prefix}_a", out_channels, 3, stride, 1, after=entry)
+        b.add(Conv2D(f"{prefix}_b_conv", out_channels=out_channels, kernel=3, padding=1, bias=False))
+        b.add(BatchNorm(f"{prefix}_b_bn"))
+    main = b.tail
+    # shortcut: projection when stride > 1 or (heuristically) always via 1x1
+    # on the first block of a stage; identity otherwise.
+    shortcut = entry
+    if stride != 1 or prefix.endswith("_0"):
+        b.add(
+            Conv2D(f"{prefix}_down_conv", out_channels=out_channels, kernel=1, stride=stride, bias=False),
+            after=entry,
+        )
+        shortcut = b.add(BatchNorm(f"{prefix}_down_bn"))
+    b.merge(Add(f"{prefix}_add"), [main, shortcut])
+    return b.add(Activation(f"{prefix}_relu_out"))
+
+
+def separable_block(
+    b: GraphBuilder,
+    prefix: str,
+    out_channels: int,
+    stride: int = 1,
+    after: Optional[str] = None,
+) -> str:
+    """MobileNetV1 depthwise-separable block: DW conv → BN → ReLU → PW conv → BN → ReLU."""
+    b.add(DepthwiseConv2D(f"{prefix}_dw", kernel=3, stride=stride, padding=1), after=after)
+    b.add(BatchNorm(f"{prefix}_dw_bn"))
+    b.add(Activation(f"{prefix}_dw_relu"))
+    b.add(Conv2D(f"{prefix}_pw_conv", out_channels=out_channels, kernel=1, bias=False))
+    b.add(BatchNorm(f"{prefix}_pw_bn"))
+    return b.add(Activation(f"{prefix}_pw_relu"))
+
+
+def inverted_residual(
+    b: GraphBuilder,
+    prefix: str,
+    in_channels: int,
+    out_channels: int,
+    expand: int,
+    stride: int = 1,
+    after: Optional[str] = None,
+) -> str:
+    """MobileNetV2 inverted residual block (expansion → DW → projection)."""
+    entry = after if after is not None else b.tail
+    hidden = in_channels * expand
+    cursor = entry
+    if expand != 1:
+        cursor = conv_bn_relu(b, f"{prefix}_expand", hidden, 1, after=entry)
+    b.add(DepthwiseConv2D(f"{prefix}_dw", kernel=3, stride=stride, padding=1), after=cursor)
+    b.add(BatchNorm(f"{prefix}_dw_bn"))
+    b.add(Activation(f"{prefix}_dw_relu"))
+    b.add(Conv2D(f"{prefix}_project", out_channels=out_channels, kernel=1, bias=False))
+    proj = b.add(BatchNorm(f"{prefix}_project_bn"))
+    if stride == 1 and in_channels == out_channels:
+        return b.merge(Add(f"{prefix}_add"), [proj, entry])
+    return proj
+
+
+def inception_module(
+    b: GraphBuilder,
+    prefix: str,
+    ch1: int,
+    ch3_reduce: int,
+    ch3: int,
+    ch5_reduce: int,
+    ch5: int,
+    pool_proj: int,
+    after: Optional[str] = None,
+) -> str:
+    """GoogLeNet/Inception-v1 module: four parallel branches + concat."""
+    entry = after if after is not None else b.tail
+    br1 = conv_bn_relu(b, f"{prefix}_b1", ch1, 1, after=entry)
+    conv_bn_relu(b, f"{prefix}_b2r", ch3_reduce, 1, after=entry)
+    br2 = conv_bn_relu(b, f"{prefix}_b2", ch3, 3, padding=1)
+    conv_bn_relu(b, f"{prefix}_b3r", ch5_reduce, 1, after=entry)
+    br3 = conv_bn_relu(b, f"{prefix}_b3", ch5, 5, padding=2)
+    b.add(Pool(f"{prefix}_b4_pool", kernel=3, stride=1, padding=1), after=entry)
+    br4 = conv_bn_relu(b, f"{prefix}_b4", pool_proj, 1)
+    return b.merge(Concat(f"{prefix}_concat"), [br1, br2, br3, br4])

@@ -1,0 +1,346 @@
+"""Layer algebra: shapes, FLOPs, parameters, and activation sizes.
+
+Each layer type knows three things about itself, all as pure functions of the
+input shape (no tensors are ever materialized):
+
+- ``output_shape(in_shape)`` — shape algebra, raising :class:`ShapeError` on
+  invalid inputs;
+- ``flops(in_shape)`` — forward-pass cost in FLOPs, counting one multiply-add
+  as **2 FLOPs** (the convention used by Neurosurgeon-class profilers);
+- ``params()`` — learnable parameter count (drives weight-transfer costs for
+  model provisioning, reported in model summaries).
+
+Shapes are tuples: feature maps are ``(C, H, W)``; flattened vectors are
+``(F,)``.  Activation size in bytes is ``prod(shape) * FLOAT32_BYTES`` — this
+is exactly what crosses the network if the model is cut after the layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.errors import ShapeError
+from repro.units import FLOAT32_BYTES
+
+Shape = Tuple[int, ...]
+
+
+def shape_elements(shape: Shape) -> int:
+    """Number of scalar elements in a tensor of ``shape``."""
+    return int(math.prod(shape))
+
+
+def shape_bytes(shape: Shape) -> int:
+    """Size in bytes of a float32 tensor of ``shape``."""
+    return shape_elements(shape) * FLOAT32_BYTES
+
+
+def _expect_chw(layer: "Layer", shape: Shape) -> Tuple[int, int, int]:
+    if len(shape) != 3 or any(d <= 0 for d in shape):
+        raise ShapeError(f"{layer.name}: expected (C,H,W) input, got {shape}")
+    return shape  # type: ignore[return-value]
+
+
+def conv_out_hw(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pool along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"kernel {kernel}/stride {stride}/padding {padding} collapses dim {size}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Abstract base of all layers.
+
+    ``name`` must be unique within a :class:`~repro.models.graph.ModelGraph`.
+    Subclasses implement the three cost functions; merge layers (``Add``,
+    ``Concat``) additionally accept multiple input shapes via
+    ``merge_output_shape``.
+    """
+
+    name: str
+
+    #: True for layers that combine several predecessor tensors.
+    is_merge: bool = field(default=False, init=False, repr=False)
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def flops(self, in_shape: Shape) -> int:
+        raise NotImplementedError
+
+    def params(self) -> int:
+        return 0
+
+    def output_bytes(self, in_shape: Shape) -> int:
+        """Bytes of the layer's output activation (float32)."""
+        return shape_bytes(self.output_shape(in_shape))
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    """Source node pinning the model's input shape (e.g. ``(3, 224, 224)``)."""
+
+    shape: Shape = (3, 224, 224)
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return tuple(self.shape)
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """Standard 2-D convolution (square kernel)."""
+
+    out_channels: int = 64
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+    bias: bool = True
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = _expect_chw(self, in_shape)
+        oh = conv_out_hw(h, self.kernel, self.stride, self.padding)
+        ow = conv_out_hw(w, self.kernel, self.stride, self.padding)
+        return (self.out_channels, oh, ow)
+
+    def flops(self, in_shape: Shape) -> int:
+        c, _, _ = _expect_chw(self, in_shape)
+        _, oh, ow = self.output_shape(in_shape)
+        macs = self.kernel * self.kernel * c * self.out_channels * oh * ow
+        return 2 * macs
+
+    def params(self) -> int:
+        # in_channels is unknown statically here only if never bound; params
+        # are computed by ModelGraph which passes the resolved input shape via
+        # params_for. Keep a conservative 0 fallback for unbound use.
+        return 0
+
+    def params_for(self, in_shape: Shape) -> int:
+        c, _, _ = _expect_chw(self, in_shape)
+        p = self.kernel * self.kernel * c * self.out_channels
+        return p + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2D(Layer):
+    """Depthwise (per-channel) convolution, as in MobileNet."""
+
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = _expect_chw(self, in_shape)
+        oh = conv_out_hw(h, self.kernel, self.stride, self.padding)
+        ow = conv_out_hw(w, self.kernel, self.stride, self.padding)
+        return (c, oh, ow)
+
+    def flops(self, in_shape: Shape) -> int:
+        c, _, _ = _expect_chw(self, in_shape)
+        _, oh, ow = self.output_shape(in_shape)
+        return 2 * self.kernel * self.kernel * c * oh * ow
+
+    def params_for(self, in_shape: Shape) -> int:
+        c, _, _ = _expect_chw(self, in_shape)
+        return self.kernel * self.kernel * c + c
+
+
+@dataclass(frozen=True)
+class Pool(Layer):
+    """Max or average pooling."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    kind: str = "max"  # "max" | "avg"
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = _expect_chw(self, in_shape)
+        oh = conv_out_hw(h, self.kernel, self.stride, self.padding)
+        ow = conv_out_hw(w, self.kernel, self.stride, self.padding)
+        return (c, oh, ow)
+
+    def flops(self, in_shape: Shape) -> int:
+        out = self.output_shape(in_shape)
+        # one comparison/add per window element per output element
+        return self.kernel * self.kernel * shape_elements(out)
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Layer):
+    """Global average pooling: (C,H,W) -> (C,)."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c, _, _ = _expect_chw(self, in_shape)
+        return (c,)
+
+    def flops(self, in_shape: Shape) -> int:
+        return shape_elements(in_shape)
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Reshape to a vector; zero cost."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return (shape_elements(in_shape),)
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully connected layer on a flat vector."""
+
+    out_features: int = 1000
+    bias: bool = True
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        if len(in_shape) != 1:
+            raise ShapeError(f"{self.name}: Dense expects a flat input, got {in_shape}")
+        return (self.out_features,)
+
+    def flops(self, in_shape: Shape) -> int:
+        (f,) = in_shape
+        return 2 * f * self.out_features
+
+    def params_for(self, in_shape: Shape) -> int:
+        (f,) = in_shape
+        return f * self.out_features + (self.out_features if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Elementwise nonlinearity (ReLU, ReLU6, sigmoid...); 1 FLOP/element."""
+
+    kind: str = "relu"
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return shape_elements(in_shape)
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    """Batch normalization (inference mode: scale + shift)."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 2 * shape_elements(in_shape)
+
+    def params_for(self, in_shape: Shape) -> int:
+        return 2 * in_shape[0]
+
+
+@dataclass(frozen=True)
+class LocalResponseNorm(Layer):
+    """AlexNet-style LRN; ~5 FLOPs per element."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 5 * shape_elements(in_shape)
+
+
+@dataclass(frozen=True)
+class Dropout(Layer):
+    """Dropout — a no-op at inference time."""
+
+    rate: float = 0.5
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    """Softmax over a flat vector; ~5 FLOPs/element (exp + sum + div)."""
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 5 * shape_elements(in_shape)
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    """Elementwise sum of N equal-shaped inputs (residual connections)."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_merge", True)
+
+    def merge_output_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        if not in_shapes:
+            raise ShapeError(f"{self.name}: Add needs at least one input")
+        first = in_shapes[0]
+        for s in in_shapes[1:]:
+            if tuple(s) != tuple(first):
+                raise ShapeError(f"{self.name}: Add shape mismatch {in_shapes}")
+        return tuple(first)
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def merge_flops(self, in_shapes: Sequence[Shape]) -> int:
+        return (len(in_shapes) - 1) * shape_elements(in_shapes[0])
+
+    def flops(self, in_shape: Shape) -> int:
+        return shape_elements(in_shape)
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation of (C,H,W) inputs (Inception modules)."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_merge", True)
+
+    def merge_output_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        if not in_shapes:
+            raise ShapeError(f"{self.name}: Concat needs at least one input")
+        hw = None
+        channels = 0
+        for s in in_shapes:
+            c, h, w = _expect_chw(self, tuple(s))
+            if hw is None:
+                hw = (h, w)
+            elif hw != (h, w):
+                raise ShapeError(f"{self.name}: Concat spatial mismatch {in_shapes}")
+            channels += c
+        assert hw is not None
+        return (channels, hw[0], hw[1])
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def merge_flops(self, in_shapes: Sequence[Shape]) -> int:
+        return 0  # pure memory movement; negligible under our cost model
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+def layer_params(layer: Layer, in_shape: Shape) -> int:
+    """Parameter count of ``layer`` given its (resolved) input shape."""
+    fn = getattr(layer, "params_for", None)
+    if fn is not None:
+        return int(fn(in_shape))
+    return int(layer.params())

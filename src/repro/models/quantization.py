@@ -1,0 +1,66 @@
+"""Precision selection — the third surgery knob.
+
+Beyond early exits and partitioning, deployments routinely *quantize*: run
+the network (and ship its boundary activations) at reduced precision.  This
+module models the three standard operating points.  Effects per level:
+
+- **compute speedup** — effective throughput multiplier on both sides of the
+  cut (uniform across devices; a simplification documented in DESIGN.md —
+  real speedups vary per accelerator, but the *ordering* fp32 < fp16 < int8
+  holds everywhere that matters);
+- **wire scale** — boundary activations shrink with precision, directly
+  cutting the transfer that partitioning tries to minimize;
+- **accuracy delta** — absolute top-1 drop (post-training-quantization
+  ballparks: fp16 is free, int8 costs ~1–2 points).
+
+Quantization composes with exits/partitioning through
+:class:`~repro.core.plan.SurgeryPlan`'s ``quantization`` field; the
+enumeration in :mod:`repro.core.surgery` sweeps the requested levels and the
+ablation bench A2 measures what the knob buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class QuantizationLevel:
+    """One precision operating point."""
+
+    name: str
+    compute_speedup: float  # effective FLOP/s multiplier
+    wire_scale: float  # boundary-activation size multiplier
+    accuracy_delta: float  # absolute top-1 change (<= 0)
+
+    def __post_init__(self) -> None:
+        if self.compute_speedup < 1.0:
+            raise ConfigError(f"{self.name}: speedup must be >= 1")
+        if not (0.0 < self.wire_scale <= 1.0):
+            raise ConfigError(f"{self.name}: wire scale must be in (0,1]")
+        if self.accuracy_delta > 0.0:
+            raise ConfigError(f"{self.name}: accuracy delta must be <= 0")
+
+
+#: Registry of supported levels.
+LEVELS: Dict[str, QuantizationLevel] = {
+    "fp32": QuantizationLevel("fp32", compute_speedup=1.0, wire_scale=1.0, accuracy_delta=0.0),
+    "fp16": QuantizationLevel("fp16", compute_speedup=1.8, wire_scale=0.5, accuracy_delta=-0.001),
+    "int8": QuantizationLevel("int8", compute_speedup=3.2, wire_scale=0.25, accuracy_delta=-0.015),
+}
+
+#: Every level name, cheapest precision last.
+ALL_LEVELS: Tuple[str, ...] = ("fp32", "fp16", "int8")
+
+
+def quantization_level(name: str) -> QuantizationLevel:
+    """Look up a level by name."""
+    try:
+        return LEVELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown quantization level {name!r}; available: {sorted(LEVELS)}"
+        ) from None

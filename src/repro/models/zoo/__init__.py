@@ -1,0 +1,75 @@
+"""Model zoo: reference architectures used throughout the evaluation.
+
+Every builder returns a fresh :class:`~repro.models.graph.ModelGraph` with
+ImageNet-scale input ``(3, 224, 224)`` and a 1000-way classifier head (unless
+noted).  FLOP/param totals land within a few percent of published numbers —
+close enough that latency profiles and partition tradeoffs are realistic.
+
+Use :func:`build` with a registry name, or call the per-architecture builders
+directly for custom widths/depths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ModelError
+from repro.models.graph import ModelGraph
+from repro.models.zoo.alexnet import build_alexnet
+from repro.models.zoo.densenet import build_densenet121
+from repro.models.zoo.inception import build_inception_v1
+from repro.models.zoo.mobilenet import build_mobilenet_v1, build_mobilenet_v2
+from repro.models.zoo.resnet import build_resnet
+from repro.models.zoo.squeezenet import build_squeezenet
+
+_REGISTRY: Dict[str, Callable[[], ModelGraph]] = {}
+
+
+def _register(name: str, fn: Callable[[], ModelGraph]) -> None:
+    _REGISTRY[name] = fn
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build(name: str) -> ModelGraph:
+    """Build a zoo model by registry name (e.g. ``"resnet18"``)."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return fn()
+
+
+# imported late to avoid a cycle through this module's registry helpers
+from repro.models.zoo.vgg import build_vgg  # noqa: E402
+
+_register("alexnet", build_alexnet)
+_register("vgg11", lambda: build_vgg(11))
+_register("vgg16", lambda: build_vgg(16))
+_register("vgg19", lambda: build_vgg(19))
+_register("resnet18", lambda: build_resnet(18))
+_register("resnet34", lambda: build_resnet(34))
+_register("resnet50", lambda: build_resnet(50))
+_register("mobilenet_v1", build_mobilenet_v1)
+_register("mobilenet_v2", build_mobilenet_v2)
+_register("inception_v1", build_inception_v1)
+_register("squeezenet", build_squeezenet)
+_register("densenet121", build_densenet121)
+
+__all__ = [
+    "available_models",
+    "build",
+    "build_alexnet",
+    "build_densenet121",
+    "build_inception_v1",
+    "build_mobilenet_v1",
+    "build_mobilenet_v2",
+    "build_resnet",
+    "build_squeezenet",
+    "build_vgg",
+]

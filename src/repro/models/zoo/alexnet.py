@@ -1,0 +1,53 @@
+"""AlexNet (Krizhevsky et al., 2012) — the canonical Neurosurgeon case study.
+
+AlexNet's sharply decreasing activation sizes across its conv stack make it
+the textbook demonstration that the best partition point sits in the middle
+of the network, which is why partition-aware papers always include it.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    Activation,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Input,
+    LocalResponseNorm,
+    Pool,
+    Softmax,
+)
+
+
+def build_alexnet(num_classes: int = 1000) -> ModelGraph:
+    """Single-tower AlexNet; ~1.4 GFLOPs, ~61 M params."""
+    layers = [
+        Input("input", shape=(3, 224, 224)),
+        Conv2D("conv1", out_channels=64, kernel=11, stride=4, padding=2),
+        Activation("relu1"),
+        LocalResponseNorm("lrn1"),
+        Pool("pool1", kernel=3, stride=2),
+        Conv2D("conv2", out_channels=192, kernel=5, padding=2),
+        Activation("relu2"),
+        LocalResponseNorm("lrn2"),
+        Pool("pool2", kernel=3, stride=2),
+        Conv2D("conv3", out_channels=384, kernel=3, padding=1),
+        Activation("relu3"),
+        Conv2D("conv4", out_channels=256, kernel=3, padding=1),
+        Activation("relu4"),
+        Conv2D("conv5", out_channels=256, kernel=3, padding=1),
+        Activation("relu5"),
+        Pool("pool5", kernel=3, stride=2),
+        Flatten("flatten"),
+        Dropout("drop6"),
+        Dense("fc6", out_features=4096),
+        Activation("relu6"),
+        Dropout("drop7"),
+        Dense("fc7", out_features=4096),
+        Activation("relu7"),
+        Dense("fc8", out_features=num_classes),
+        Softmax("softmax"),
+    ]
+    return ModelGraph.chain("alexnet", layers)

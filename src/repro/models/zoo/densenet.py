@@ -1,0 +1,69 @@
+"""DenseNet-121 (Huang et al., 2017).
+
+Dense connectivity — every layer's input is the concatenation of all earlier
+feature maps in its block — makes DenseNets the adversarial case for DNN
+partitioning: the accumulated feature map *is* a valid single-tensor cut
+after every dense layer, but its size grows with depth inside a block, so
+the only cuts that ship a *small* boundary are the compressing transition
+layers.  Including it keeps the optimizer honest about models where most
+cut points exist but are uneconomical.
+"""
+
+from __future__ import annotations
+
+from repro.models.builders import GraphBuilder, conv_bn_relu
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    Activation,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    Pool,
+    Softmax,
+)
+
+#: Dense layers per block for DenseNet-121.
+_BLOCKS = (6, 12, 24, 16)
+_GROWTH = 32
+
+
+def _dense_layer(b: GraphBuilder, name: str, state: str, growth: int) -> str:
+    """BN-ReLU-Conv1x1(4k)-BN-ReLU-Conv3x3(k), concatenated onto ``state``."""
+    b.add(BatchNorm(f"{name}_bn1"), after=state)
+    b.add(Activation(f"{name}_relu1"))
+    b.add(Conv2D(f"{name}_conv1", out_channels=4 * growth, kernel=1, bias=False))
+    b.add(BatchNorm(f"{name}_bn2"))
+    b.add(Activation(f"{name}_relu2"))
+    new = b.add(Conv2D(f"{name}_conv2", out_channels=growth, kernel=3, padding=1, bias=False))
+    return b.merge(Concat(f"{name}_cat"), [state, new])
+
+
+def _transition(b: GraphBuilder, name: str, state: str, out_channels: int) -> str:
+    """BN-ReLU-Conv1x1(compress)-AvgPool2: the only cut points mid-network."""
+    b.add(BatchNorm(f"{name}_bn"), after=state)
+    b.add(Activation(f"{name}_relu"))
+    b.add(Conv2D(f"{name}_conv", out_channels=out_channels, kernel=1, bias=False))
+    return b.add(Pool(f"{name}_pool", kernel=2, stride=2, kind="avg"))
+
+
+def build_densenet121(num_classes: int = 1000) -> ModelGraph:
+    """DenseNet-121; ~5.7 GFLOPs, ~8 M params."""
+    b = GraphBuilder("densenet121", (3, 224, 224))
+    conv_bn_relu(b, "stem", 64, 7, stride=2, padding=3)
+    state = b.add(Pool("stem_pool", kernel=3, stride=2, padding=1))
+    channels = 64
+    for block_idx, n_layers in enumerate(_BLOCKS, 1):
+        for l in range(n_layers):
+            state = _dense_layer(b, f"b{block_idx}_l{l}", state, _GROWTH)
+            channels += _GROWTH
+        if block_idx < len(_BLOCKS):
+            channels //= 2
+            state = _transition(b, f"trans{block_idx}", state, channels)
+    b.add(BatchNorm("head_bn"), after=state)
+    b.add(Activation("head_relu"))
+    b.add(GlobalAvgPool("gap"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("softmax"))
+    return b.build()

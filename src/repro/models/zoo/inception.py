@@ -1,0 +1,44 @@
+"""Inception-v1 / GoogLeNet (Szegedy et al., 2015).
+
+Historically the first mainstream network *designed with* auxiliary side
+classifiers — the architectural ancestor of BranchyNet-style early exits —
+and a stress test for cut-point enumeration (four-way branch fan-out).
+"""
+
+from __future__ import annotations
+
+from repro.models.builders import GraphBuilder, conv_bn_relu, inception_module
+from repro.models.graph import ModelGraph
+from repro.models.layers import Dense, Dropout, GlobalAvgPool, Pool, Softmax
+
+#: Inception module parameters: (1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, poolproj).
+_MODULES = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def build_inception_v1(num_classes: int = 1000) -> ModelGraph:
+    """GoogLeNet backbone (without training-time auxiliary heads); ~3 GFLOPs."""
+    b = GraphBuilder("inception_v1", (3, 224, 224))
+    conv_bn_relu(b, "stem1", 64, 7, stride=2, padding=3)
+    b.add(Pool("stem1_pool", kernel=3, stride=2, padding=1))
+    conv_bn_relu(b, "stem2a", 64, 1)
+    conv_bn_relu(b, "stem2b", 192, 3, padding=1)
+    b.add(Pool("stem2_pool", kernel=3, stride=2, padding=1))
+    for name, cfg in _MODULES.items():
+        inception_module(b, f"inc{name}", *cfg)
+        if name in ("3b", "4e"):
+            b.add(Pool(f"pool_{name}", kernel=3, stride=2, padding=1))
+    b.add(GlobalAvgPool("gap"))
+    b.add(Dropout("drop"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("softmax"))
+    return b.build()

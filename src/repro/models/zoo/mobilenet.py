@@ -1,0 +1,76 @@
+"""MobileNet V1/V2 (Howard et al., 2017; Sandler et al., 2018).
+
+The lightweight end of the zoo (~0.6–1.1 GFLOPs): the models where device-only
+execution is competitive and joint optimization must *not* blindly offload —
+a key sanity check for the crossover behaviour in experiment E2.
+"""
+
+from __future__ import annotations
+
+from repro.models.builders import (
+    GraphBuilder,
+    conv_bn_relu,
+    inverted_residual,
+    separable_block,
+)
+from repro.models.graph import ModelGraph
+from repro.models.layers import Dense, GlobalAvgPool, Softmax
+
+#: MobileNetV1 body: (output channels, stride) per depthwise-separable block.
+_V1_BLOCKS = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+#: MobileNetV2 body: (expansion, out channels, repeats, first-stride).
+_V2_BLOCKS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v1(num_classes: int = 1000) -> ModelGraph:
+    """MobileNetV1 (width 1.0); ~1.1 GFLOPs, ~4.2 M params."""
+    b = GraphBuilder("mobilenet_v1", (3, 224, 224))
+    conv_bn_relu(b, "stem", 32, 3, stride=2, padding=1)
+    for i, (ch, stride) in enumerate(_V1_BLOCKS):
+        separable_block(b, f"sep{i}", ch, stride=stride)
+    b.add(GlobalAvgPool("gap"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("softmax"))
+    return b.build()
+
+
+def build_mobilenet_v2(num_classes: int = 1000) -> ModelGraph:
+    """MobileNetV2 (width 1.0); ~0.6 GFLOPs, ~3.5 M params."""
+    b = GraphBuilder("mobilenet_v2", (3, 224, 224))
+    conv_bn_relu(b, "stem", 32, 3, stride=2, padding=1)
+    in_ch = 32
+    idx = 0
+    for expand, out_ch, repeats, first_stride in _V2_BLOCKS:
+        for r in range(repeats):
+            stride = first_stride if r == 0 else 1
+            inverted_residual(b, f"ir{idx}", in_ch, out_ch, expand, stride=stride)
+            in_ch = out_ch
+            idx += 1
+    conv_bn_relu(b, "head", 1280, 1)
+    b.add(GlobalAvgPool("gap"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("softmax"))
+    return b.build()

@@ -1,0 +1,47 @@
+"""ResNet-18/34/50 (He et al., 2016).
+
+ResNets exercise the DAG machinery: skip connections mean the model can only
+be partitioned at block boundaries, which the dominator-based cut-point
+enumeration in :class:`~repro.models.graph.ModelGraph` discovers automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ModelError
+from repro.models.builders import GraphBuilder, conv_bn_relu, residual_block
+from repro.models.graph import ModelGraph
+from repro.models.layers import Dense, GlobalAvgPool, Pool, Softmax
+
+#: (blocks per stage, bottleneck?) for each supported depth.
+_CONFIGS: Dict[int, Tuple[List[int], bool]] = {
+    18: ([2, 2, 2, 2], False),
+    34: ([3, 4, 6, 3], False),
+    50: ([3, 4, 6, 3], True),
+}
+
+_STAGE_CHANNELS_BASIC = [64, 128, 256, 512]
+_STAGE_CHANNELS_BOTTLENECK = [256, 512, 1024, 2048]
+
+
+def build_resnet(depth: int = 18, num_classes: int = 1000) -> ModelGraph:
+    """ResNet-``depth`` (18/34 basic blocks, 50 bottleneck blocks)."""
+    if depth not in _CONFIGS:
+        raise ModelError(f"ResNet depth must be one of {sorted(_CONFIGS)}, got {depth}")
+    blocks, bottleneck = _CONFIGS[depth]
+    channels = _STAGE_CHANNELS_BOTTLENECK if bottleneck else _STAGE_CHANNELS_BASIC
+
+    b = GraphBuilder(f"resnet{depth}", (3, 224, 224))
+    conv_bn_relu(b, "stem", 64, 7, stride=2, padding=3)
+    b.add(Pool("stem_pool", kernel=3, stride=2, padding=1))
+    for stage, (n_blocks, ch) in enumerate(zip(blocks, channels), 1):
+        for i in range(n_blocks):
+            stride = 2 if (stage > 1 and i == 0) else 1
+            residual_block(
+                b, f"s{stage}_{i}", ch, stride=stride, bottleneck=bottleneck
+            )
+    b.add(GlobalAvgPool("gap"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("softmax"))
+    return b.build()

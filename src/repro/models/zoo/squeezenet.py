@@ -1,0 +1,52 @@
+"""SqueezeNet 1.1 (Iandola et al., 2016).
+
+The original "AlexNet accuracy at 50x fewer parameters" edge model: fire
+modules (1x1 squeeze -> parallel 1x1/3x3 expands -> concat) give it a branchy
+topology with tiny weights — the model you'd actually provision onto a
+constrained device, and another stress case for cut-point enumeration.
+"""
+
+from __future__ import annotations
+
+from repro.models.builders import GraphBuilder, conv_bn_relu
+from repro.models.graph import ModelGraph
+from repro.models.layers import Concat, Conv2D, Dropout, GlobalAvgPool, Pool, Softmax
+
+#: Fire module parameters: (squeeze, expand1x1, expand3x3).
+_FIRES = {
+    "f2": (16, 64, 64),
+    "f3": (16, 64, 64),
+    "f4": (32, 128, 128),
+    "f5": (32, 128, 128),
+    "f6": (48, 192, 192),
+    "f7": (48, 192, 192),
+    "f8": (64, 256, 256),
+    "f9": (64, 256, 256),
+}
+
+#: Max-pools come *before* these modules in the 1.1 layout.
+_POOL_BEFORE = {"f2", "f4", "f6"}
+
+
+def _fire(b: GraphBuilder, name: str, squeeze: int, e1: int, e3: int) -> str:
+    """One fire module; returns the concat node name."""
+    sq = conv_bn_relu(b, f"{name}_squeeze", squeeze, 1, batchnorm=False)
+    left = conv_bn_relu(b, f"{name}_e1", e1, 1, after=sq, batchnorm=False)
+    right = conv_bn_relu(b, f"{name}_e3", e3, 3, padding=1, after=sq, batchnorm=False)
+    return b.merge(Concat(f"{name}_concat"), [left, right])
+
+
+def build_squeezenet(num_classes: int = 1000) -> ModelGraph:
+    """SqueezeNet 1.1; ~0.7 GFLOPs, ~1.2 M params."""
+    b = GraphBuilder("squeezenet", (3, 224, 224))
+    conv_bn_relu(b, "stem", 64, 3, stride=2, padding=0, batchnorm=False)
+    for name, cfg in _FIRES.items():
+        if name in _POOL_BEFORE:
+            b.add(Pool(f"pool_{name}", kernel=3, stride=2))
+        _fire(b, name, *cfg)
+    b.add(Dropout("drop"))
+    # classifier is a conv, not an FC — part of why the model is so small
+    conv_bn_relu(b, "head", num_classes, 1, batchnorm=False)
+    b.add(GlobalAvgPool("gap"))
+    b.add(Softmax("softmax"))
+    return b.build()

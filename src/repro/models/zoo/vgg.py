@@ -1,0 +1,59 @@
+"""VGG-11/16/19 (Simonyan & Zisserman, 2014).
+
+VGG is the heavyweight of the zoo (~15.5 GFLOPs, ~138 M params for VGG-16):
+the model where device-only execution is hopeless on embedded hardware and
+where partitioning + early exits pay off most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ModelError
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    Activation,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Input,
+    Layer,
+    Pool,
+    Softmax,
+)
+
+#: Convs per stage for each VGG depth (stages are separated by 2x2 max-pools).
+_CONFIGS: Dict[int, List[int]] = {
+    11: [1, 1, 2, 2, 2],
+    16: [2, 2, 3, 3, 3],
+    19: [2, 2, 4, 4, 4],
+}
+
+_STAGE_CHANNELS = [64, 128, 256, 512, 512]
+
+
+def build_vgg(depth: int = 16, num_classes: int = 1000) -> ModelGraph:
+    """VGG-``depth`` with the standard 3x3-conv stages and 4096-wide FC head."""
+    if depth not in _CONFIGS:
+        raise ModelError(f"VGG depth must be one of {sorted(_CONFIGS)}, got {depth}")
+    layers: List[Layer] = [Input("input", shape=(3, 224, 224))]
+    for stage, (n_convs, ch) in enumerate(zip(_CONFIGS[depth], _STAGE_CHANNELS), 1):
+        for i in range(1, n_convs + 1):
+            layers.append(
+                Conv2D(f"conv{stage}_{i}", out_channels=ch, kernel=3, padding=1)
+            )
+            layers.append(Activation(f"relu{stage}_{i}"))
+        layers.append(Pool(f"pool{stage}", kernel=2, stride=2))
+    layers += [
+        Flatten("flatten"),
+        Dense("fc6", out_features=4096),
+        Activation("relu6"),
+        Dropout("drop6"),
+        Dense("fc7", out_features=4096),
+        Activation("relu7"),
+        Dropout("drop7"),
+        Dense("fc8", out_features=num_classes),
+        Softmax("softmax"),
+    ]
+    return ModelGraph.chain(f"vgg{depth}", layers)

@@ -1,0 +1,44 @@
+"""Point-to-point link model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link with fixed nominal bandwidth and propagation delay.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Nominal capacity in **bytes** per second (see :mod:`repro.units`
+    for Mbit/s helpers).
+    rtt_s:
+        Round-trip propagation delay; one data transfer pays half of it
+        (``rtt_s / 2``) plus the serialization time.
+    name:
+        Optional identifier for reporting.
+    """
+
+    bandwidth_bps: float
+    rtt_s: float = 10e-3
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigError(f"link {self.name!r}: bandwidth must be positive")
+        if self.rtt_s < 0:
+            raise ConfigError(f"link {self.name!r}: rtt must be >= 0")
+
+    def scaled(self, factor: float) -> "Link":
+        """A copy with bandwidth multiplied by ``factor`` (fading, sharing)."""
+        if factor <= 0:
+            raise ConfigError(f"link scale factor must be positive, got {factor}")
+        return Link(self.bandwidth_bps * factor, self.rtt_s, self.name)
+
+    def with_bandwidth(self, bandwidth_bps: float) -> "Link":
+        """A copy with bandwidth replaced (time-varying traces)."""
+        return Link(bandwidth_bps, self.rtt_s, self.name)

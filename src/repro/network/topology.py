@@ -1,0 +1,88 @@
+"""Edge topologies.
+
+The paper family's deployment is a star: each end device reaches every edge
+server over its own access link (possibly with different bandwidths per
+server — a nearby AP vs. a metro backhaul).  :class:`StarTopology` stores the
+directed device->server links and answers the optimizer's only topology
+question: "what link does task i use if assigned to server j?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.network.link import Link
+
+
+@dataclass
+class StarTopology:
+    """Device->server access links.
+
+    Construct either with an explicit ``links`` mapping
+    ``(device_name, server_name) -> Link`` or via :meth:`uniform`.
+    """
+
+    device_names: List[str]
+    server_names: List[str]
+    links: Dict[Tuple[str, str], Link] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.device_names or not self.server_names:
+            raise ConfigError("topology needs at least one device and one server")
+        if len(set(self.device_names)) != len(self.device_names):
+            raise ConfigError("duplicate device names")
+        if len(set(self.server_names)) != len(self.server_names):
+            raise ConfigError("duplicate server names")
+        for (d, s) in self.links:
+            if d not in self.device_names or s not in self.server_names:
+                raise ConfigError(f"link ({d},{s}) references unknown endpoint")
+        missing = [
+            (d, s)
+            for d in self.device_names
+            for s in self.server_names
+            if (d, s) not in self.links
+        ]
+        if missing:
+            raise ConfigError(f"missing links for pairs: {missing[:5]}...")
+
+    @classmethod
+    def uniform(
+        cls,
+        device_names: Iterable[str],
+        server_names: Iterable[str],
+        link: Link,
+        per_server_scale: Optional[Mapping[str, float]] = None,
+    ) -> "StarTopology":
+        """Same access link everywhere, optionally scaled per server."""
+        devices = list(device_names)
+        servers = list(server_names)
+        scale = dict(per_server_scale or {})
+        links = {
+            (d, s): link.scaled(scale.get(s, 1.0)) if scale.get(s, 1.0) != 1.0 else link
+            for d in devices
+            for s in servers
+        }
+        return cls(devices, servers, links)
+
+    def link(self, device: str, server: str) -> Link:
+        """The access link used when ``device`` offloads to ``server``."""
+        try:
+            return self.links[(device, server)]
+        except KeyError:
+            raise ConfigError(f"no link between {device!r} and {server!r}") from None
+
+    def with_link(self, device: str, server: str, link: Link) -> "StarTopology":
+        """A copy with one link replaced (dynamic-bandwidth experiments)."""
+        new_links = dict(self.links)
+        new_links[(device, server)] = link
+        return StarTopology(list(self.device_names), list(self.server_names), new_links)
+
+    def scale_all(self, factor: float) -> "StarTopology":
+        """A copy with every link's bandwidth scaled by ``factor``."""
+        return StarTopology(
+            list(self.device_names),
+            list(self.server_names),
+            {k: l.scaled(factor) for k, l in self.links.items()},
+        )

@@ -1,0 +1,46 @@
+"""Model × device profiler."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.device import DeviceSpec
+from repro.devices.latency import LatencyModel, layer_class_of
+from repro.models.graph import ModelGraph
+from repro.profiling.tables import LayerProfile, ProfileTable
+from repro.rng import SeedLike, as_generator
+
+
+def profile_model(
+    model: ModelGraph,
+    device: DeviceSpec,
+    latency_model: Optional[LatencyModel] = None,
+    noise: float = 0.0,
+    seed: SeedLike = None,
+) -> ProfileTable:
+    """Produce the per-layer latency table of ``model`` on ``device``.
+
+    ``noise`` adds multiplicative log-normal measurement jitter (sigma as a
+    fraction, e.g. 0.05 for ~5%) — profiles on real hardware are never exact,
+    and downstream regression code should cope.
+    """
+    lm = latency_model or LatencyModel()
+    rng = as_generator(seed) if noise > 0 else None
+    rows = []
+    for name in model.topological_order:
+        layer = model.layer(name)
+        flops = model.flops_of(name)
+        t = lm.layer_time(layer, flops, device)
+        if rng is not None and t > 0:
+            t *= float(rng.lognormal(mean=0.0, sigma=noise))
+        rows.append(
+            LayerProfile(
+                layer_name=name,
+                layer_type=type(layer).__name__,
+                layer_class=layer_class_of(layer),
+                flops=flops,
+                output_bytes=model.output_bytes_of(name),
+                latency_s=t,
+            )
+        )
+    return ProfileTable(model_name=model.name, device_name=device.name, rows=rows)

@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate (the stand-in for the paper's testbed).
+
+The optimizer predicts *expected* latencies analytically; the simulator
+replays a solved :class:`~repro.core.plan.JointPlan` against stochastic
+arrivals, per-request input difficulties, FIFO resources, and (optionally)
+time-varying link bandwidth, producing measured latency distributions,
+deadline-miss rates, and accuracy estimates.  Experiments E4/E5/E11/E14 are
+simulator-driven; E14 validates the analytic queueing terms against it.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.entities import Request, RequestDemand, RequestRecord
+from repro.sim.execution import realize_request, sample_exit
+from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.queues import FifoResource, LinkResource
+from repro.sim.runner import SimulationConfig, simulate_plan
+from repro.sim.sources import (
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+__all__ = [
+    "DeterministicArrivals",
+    "FifoResource",
+    "LinkResource",
+    "MMPPArrivals",
+    "MetricsCollector",
+    "PoissonArrivals",
+    "Request",
+    "RequestDemand",
+    "RequestRecord",
+    "SimulationConfig",
+    "SimulationReport",
+    "Simulator",
+    "TraceArrivals",
+    "realize_request",
+    "sample_exit",
+    "simulate_plan",
+]

@@ -1,0 +1,91 @@
+"""Per-request plan realization: difficulty -> exit -> resource demands.
+
+The optimizer works with expectations; the simulator needs the *realized*
+behaviour of each sampled input.  :func:`sample_exit` applies the exact
+threshold semantics of :mod:`repro.models.exits` (exit fires iff difficulty
+is below the exit's cutoff), and :func:`realize_request` charges the same
+cumulative branch costs and partition accounting as
+:func:`repro.core.surgery.evaluate_plan` — by construction, averaging
+realized demands over the difficulty distribution reproduces the plan's
+:class:`~repro.core.plan.PlanFeatures` (a property test pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.plan import SurgeryPlan
+from repro.models.exits import GATE_SHARPNESS, difficulty_cutoffs
+from repro.models.multiexit import MultiExitModel
+from repro.sim.entities import RequestDemand
+
+
+def sample_exit(
+    model: MultiExitModel, plan: SurgeryPlan, difficulty: float
+) -> int:
+    """Index (within the plan's kept exits) where this input exits."""
+    kept = list(plan.kept_exits)
+    comp = model.competences[kept]
+    cutoffs = difficulty_cutoffs(comp, np.asarray(plan.thresholds), GATE_SHARPNESS)
+    fires = difficulty <= cutoffs
+    # final exit has threshold 0 -> cutoff inf -> always fires
+    return int(np.argmax(fires))
+
+
+def realize_request(
+    model: MultiExitModel,
+    plan: SurgeryPlan,
+    difficulty: float,
+    rng: np.random.Generator,
+) -> RequestDemand:
+    """Realized resource demands of one input under ``plan``.
+
+    Correctness is sampled from the accuracy model's per-difficulty
+    correctness probability at the taken exit.
+    """
+    from repro.models.quantization import quantization_level
+
+    plan.validate_against(model)
+    lvl = quantization_level(plan.quantization)
+    kept = list(plan.kept_exits)
+    pos = sample_exit(model, plan, difficulty)
+
+    c = plan.partition_cut
+    cut_flops = model.cut_flops
+    cut_bytes = model.cut_bytes
+    attach = model.exit_cut_indices[kept]
+    backbone = np.array([model.exits[k].backbone_flops for k in kept], dtype=float)
+    branch = np.array([model.exits[k].branch_flops for k in kept], dtype=float)
+
+    on_device = attach <= c
+    taken_attach = int(attach[pos])
+    offloaded = taken_attach > c
+
+    dev_backbone = min(float(backbone[pos]), float(cut_flops[c]))
+    srv_backbone = max(float(backbone[pos]) - float(cut_flops[c]), 0.0)
+    dev_branch = float(np.sum(np.where(on_device[: pos + 1], branch[: pos + 1], 0.0)))
+    srv_branch = float(np.sum(np.where(on_device[: pos + 1], 0.0, branch[: pos + 1])))
+
+    up = float(cut_bytes[c]) * lvl.wire_scale if offloaded else 0.0
+    down = float(model.result_bytes) * lvl.wire_scale if offloaded else 0.0
+
+    comp_taken = float(model.competences[kept][pos])
+    p_correct = float(
+        model.accuracy_model.correctness(
+            np.array([comp_taken]), np.array([difficulty])
+        )[0, 0]
+    )
+    p_correct = float(np.clip(p_correct + lvl.accuracy_delta, 0.01, 0.999))
+    correct = bool(rng.random() < p_correct)
+
+    return RequestDemand(
+        exit_position=pos,
+        dev_flops=(dev_backbone + dev_branch) / lvl.compute_speedup,
+        srv_flops=(srv_backbone + (srv_branch if offloaded else 0.0)) / lvl.compute_speedup,
+        up_bytes=up,
+        down_bytes=down,
+        offloaded=offloaded,
+        correct=correct,
+    )

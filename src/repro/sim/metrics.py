@@ -1,0 +1,149 @@
+"""Metrics collection and simulation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.entities import RequestRecord
+
+
+@dataclass
+class TaskStats:
+    """Measured statistics of one task's request stream."""
+
+    count: int
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    miss_rate: float
+    accuracy: float
+    offload_fraction: float
+    mean_exit_position: float
+    mean_queueing_s: float
+
+
+class MetricsCollector:
+    """Accumulates :class:`RequestRecord` objects during a run."""
+
+    def __init__(self, warmup_s: float = 0.0) -> None:
+        if warmup_s < 0:
+            raise SimulationError("warmup must be >= 0")
+        self.warmup_s = warmup_s
+        self.records: List[RequestRecord] = []
+        self.discarded = 0
+
+    def record(self, rec: RequestRecord) -> None:
+        if rec.completion_s < rec.arrival_s:
+            raise SimulationError(
+                f"request {rec.task_name}#{rec.req_id} completes before it arrives"
+            )
+        if rec.arrival_s < self.warmup_s:
+            self.discarded += 1
+            return
+        self.records.append(rec)
+
+    def report(self, horizon_s: float, utilizations: Optional[Dict[str, float]] = None) -> "SimulationReport":
+        return SimulationReport.from_records(
+            self.records, horizon_s, utilizations or {}, self.discarded
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated outcome of one simulation run."""
+
+    horizon_s: float
+    records: List[RequestRecord]
+    per_task: Dict[str, TaskStats]
+    utilizations: Dict[str, float] = field(default_factory=dict)
+    discarded_warmup: int = 0
+
+    @classmethod
+    def from_records(
+        cls,
+        records: List[RequestRecord],
+        horizon_s: float,
+        utilizations: Dict[str, float],
+        discarded: int = 0,
+    ) -> "SimulationReport":
+        per_task: Dict[str, TaskStats] = {}
+        by_task: Dict[str, List[RequestRecord]] = {}
+        for r in records:
+            by_task.setdefault(r.task_name, []).append(r)
+        for name, recs in by_task.items():
+            lat = np.array([r.latency_s for r in recs])
+            per_task[name] = TaskStats(
+                count=len(recs),
+                mean_latency_s=float(lat.mean()),
+                p50_latency_s=float(np.percentile(lat, 50)),
+                p95_latency_s=float(np.percentile(lat, 95)),
+                p99_latency_s=float(np.percentile(lat, 99)),
+                max_latency_s=float(lat.max()),
+                miss_rate=float(np.mean([not r.met_deadline for r in recs])),
+                accuracy=float(np.mean([r.correct for r in recs])),
+                offload_fraction=float(np.mean([r.offloaded for r in recs])),
+                mean_exit_position=float(np.mean([r.exit_position for r in recs])),
+                mean_queueing_s=float(np.mean([r.queueing_s for r in recs])),
+            )
+        return cls(
+            horizon_s=horizon_s,
+            records=records,
+            per_task=per_task,
+            utilizations=utilizations,
+            discarded_warmup=discarded,
+        )
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.records])
+
+    @property
+    def mean_latency_s(self) -> float:
+        lat = self.latencies()
+        return float(lat.mean()) if lat.size else float("nan")
+
+    def percentile_latency_s(self, q: float) -> float:
+        lat = self.latencies()
+        return float(np.percentile(lat, q)) if lat.size else float("nan")
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([not r.met_deadline for r in self.records]))
+
+    @property
+    def accuracy(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.correct for r in self.records]))
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"simulated {self.total_requests} requests over {self.horizon_s:.1f}s "
+            f"(+{self.discarded_warmup} warmup-discarded)",
+            f"mean={self.mean_latency_s * 1e3:.2f}ms "
+            f"p95={self.percentile_latency_s(95) * 1e3:.2f}ms "
+            f"p99={self.percentile_latency_s(99) * 1e3:.2f}ms "
+            f"miss={self.miss_rate * 100:.1f}% acc={self.accuracy:.3f}",
+        ]
+        for name in sorted(self.per_task):
+            s = self.per_task[name]
+            lines.append(
+                f"  {name:>10s}: n={s.count:<6d} mean={s.mean_latency_s * 1e3:7.2f}ms "
+                f"p99={s.p99_latency_s * 1e3:7.2f}ms miss={s.miss_rate * 100:5.1f}% "
+                f"acc={s.accuracy:.3f} off={s.offload_fraction:.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""FIFO resources: compute queues and (possibly time-varying) links.
+
+Both resources serialize jobs in submission order.  Because service times are
+computable at start-of-service, the implementation tracks a single
+``busy_until`` horizon instead of an explicit queue — submission returns the
+(start, finish) pair and the caller schedules its continuation at ``finish``.
+
+:class:`LinkResource` additionally supports a piecewise-constant
+:class:`~repro.network.wireless.BandwidthTrace`: a transfer spanning trace
+change-points is integrated segment by segment, so dynamic-bandwidth
+experiments are exact rather than sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.wireless import BandwidthTrace
+
+
+class FifoResource:
+    """Single FIFO server with a fixed service rate (FLOP/s or B/s)."""
+
+    def __init__(self, name: str, rate: float, overhead_s: float = 0.0) -> None:
+        if rate <= 0:
+            raise SimulationError(f"{name}: rate must be positive")
+        if overhead_s < 0:
+            raise SimulationError(f"{name}: overhead must be >= 0")
+        self.name = name
+        self.rate = rate
+        self.overhead_s = overhead_s
+        self._busy_until = 0.0
+        self.busy_time = 0.0  # total service time (utilization accounting)
+        self.jobs = 0
+
+    def submit(self, now: float, amount: float) -> Tuple[float, float]:
+        """Enqueue ``amount`` of work at time ``now``; return (start, finish).
+
+        Zero-amount jobs pass through instantly without paying overhead.
+        """
+        if amount < 0:
+            raise SimulationError(f"{self.name}: negative work {amount}")
+        if now < 0:
+            raise SimulationError(f"{self.name}: negative submit time")
+        if amount == 0:
+            return now, now
+        start = max(now, self._busy_until)
+        service = amount / self.rate + self.overhead_s
+        finish = start + service
+        self._busy_until = finish
+        self.busy_time += service
+        self.jobs += 1
+        return start, finish
+
+    def utilization(self, horizon_s: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource spent serving."""
+        if horizon_s <= 0:
+            raise SimulationError("horizon must be positive")
+        return min(1.0, self.busy_time / horizon_s)
+
+
+class LinkResource:
+    """FIFO link with fixed or trace-driven bandwidth.
+
+    With a trace, a transfer starting at ``t`` finishes when the integral of
+    bandwidth over ``[t, finish]`` equals the transfer size — computed
+    exactly by walking the piecewise-constant segments.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth_bps: float,
+        rtt_s: float = 0.0,
+        share: float = 1.0,
+        trace: Optional[BandwidthTrace] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise SimulationError(f"{name}: bandwidth must be positive")
+        if not (0.0 < share <= 1.0 + 1e-12):
+            raise SimulationError(f"{name}: share must be in (0,1]")
+        if rtt_s < 0:
+            raise SimulationError(f"{name}: rtt must be >= 0")
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt_s = rtt_s
+        self.share = share
+        self.trace = trace
+        self._busy_until = 0.0
+        self.busy_time = 0.0
+        self.transfers = 0
+
+    def _serialization_finish(self, start: float, nbytes: float) -> float:
+        if self.trace is None:
+            return start + nbytes / (self.bandwidth_bps * self.share)
+        # integrate share-scaled trace bandwidth over time
+        times, values = self.trace.times, self.trace.values
+        remaining = nbytes
+        t = start
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        while True:
+            rate = float(values[idx]) * self.share
+            seg_end = float(times[idx + 1]) if idx + 1 < len(times) else np.inf
+            span = seg_end - t
+            capacity = rate * span
+            if capacity >= remaining or not np.isfinite(seg_end):
+                return t + remaining / rate
+            remaining -= capacity
+            t = seg_end
+            idx += 1
+
+    def submit(self, now: float, nbytes: float) -> Tuple[float, float]:
+        """Enqueue a transfer; returns (start, delivery) where delivery
+        includes one-way propagation (rtt/2).
+
+        Propagation does **not** occupy the channel: the link is free for the
+        next transfer as soon as serialization ends (bits in flight don't
+        block the sender).  Zero-byte transfers complete instantly.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative transfer {nbytes}")
+        if nbytes == 0:
+            return now, now
+        start = max(now, self._busy_until)
+        serialized = self._serialization_finish(start, nbytes)
+        if serialized < start:  # pragma: no cover - defensive
+            raise SimulationError(f"{self.name}: negative transfer duration")
+        self._busy_until = serialized
+        self.busy_time += serialized - start
+        self.transfers += 1
+        return start, serialized + self.rtt_s / 2.0

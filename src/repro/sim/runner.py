@@ -1,0 +1,211 @@
+"""End-to-end simulation of a solved :class:`~repro.core.plan.JointPlan`.
+
+Resource model (mirrors the optimizer's allocation semantics so predicted
+and measured latencies are comparable):
+
+- each **end device** is one FIFO compute resource shared by all its tasks;
+- each **offloading task** owns a dedicated slice of its server — a FIFO
+  resource at ``share × server_rate`` (processor-sharing realized as static
+  partitioning, which is what the allocator grants) — and a dedicated slice
+  of its access link used for both directions;
+- a request flows device-compute → uplink → server-compute → downlink, with
+  any stage of zero demand skipped.
+
+Arrivals default to Poisson at each task's rate; per-request difficulties
+come from each model's difficulty distribution.  A
+:class:`~repro.network.wireless.BandwidthTrace` makes every link time-varying
+(experiment E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.plan import JointPlan, TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.latency import LatencyModel
+from repro.errors import ConfigError, SimulationError
+from repro.network.wireless import BandwidthTrace
+from repro.rng import SeedLike, as_generator, derive
+from repro.sim.engine import Simulator
+from repro.sim.entities import Request, RequestRecord
+from repro.sim.execution import realize_request
+from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.queues import FifoResource, LinkResource
+from repro.sim.sources import (
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+
+_ARRIVALS = {"poisson", "deterministic", "mmpp"}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    horizon_s: float = 30.0
+    warmup_s: float = 2.0
+    arrival: str = "poisson"
+    #: MMPP burstiness (used when arrival == "mmpp"): high = burst_factor × rate
+    burst_factor: float = 4.0
+    bandwidth_trace: Optional[BandwidthTrace] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        if not (0 <= self.warmup_s < self.horizon_s):
+            raise ConfigError("warmup must lie in [0, horizon)")
+        if self.arrival not in _ARRIVALS:
+            raise ConfigError(f"arrival must be one of {_ARRIVALS}, got {self.arrival}")
+        if self.burst_factor < 1.0:
+            raise ConfigError("burst_factor must be >= 1")
+
+
+def _arrival_times(task: TaskSpec, cfg: SimulationConfig, seed: SeedLike) -> np.ndarray:
+    if cfg.arrival == "poisson":
+        return PoissonArrivals(task.arrival_rate).generate(cfg.horizon_s, seed)
+    if cfg.arrival == "deterministic":
+        return DeterministicArrivals(task.arrival_rate).generate(cfg.horizon_s, seed)
+    # MMPP with the same mean rate: solve low so that mean == task rate
+    high = task.arrival_rate * cfg.burst_factor
+    mean_low_s, mean_high_s = 5.0, 1.0
+    low = (
+        task.arrival_rate * (mean_low_s + mean_high_s) - high * mean_high_s
+    ) / mean_low_s
+    low = max(low, task.arrival_rate * 0.05)
+    return MMPPArrivals(low, high, mean_low_s, mean_high_s).generate(cfg.horizon_s, seed)
+
+
+def simulate_plan(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cluster: EdgeCluster,
+    config: Optional[SimulationConfig] = None,
+    latency_model: Optional[LatencyModel] = None,
+) -> SimulationReport:
+    """Replay ``plan`` under stochastic load; return measured statistics."""
+    cfg = config or SimulationConfig()
+    lm = latency_model or LatencyModel()
+    if not tasks:
+        raise ConfigError("no tasks to simulate")
+    for t in tasks:
+        if t.name not in plan.features:
+            raise ConfigError(f"plan has no entry for task {t.name!r}")
+
+    sim = Simulator()
+    metrics = MetricsCollector(warmup_s=cfg.warmup_s)
+
+    # -- resources -------------------------------------------------------------
+    device_res: Dict[str, FifoResource] = {}
+    for d in cluster.end_devices:
+        device_res[d.name] = FifoResource(
+            f"dev:{d.name}", lm.throughput(d), overhead_s=d.overhead_s
+        )
+    task_server_res: Dict[str, FifoResource] = {}
+    task_uplink_res: Dict[str, LinkResource] = {}
+    task_downlink_res: Dict[str, LinkResource] = {}
+    for t in tasks:
+        s = plan.assignment[t.name]
+        if s is None:
+            continue
+        server = cluster.servers[s]
+        link = cluster.link(t.device_name, server.name)
+        x = plan.compute_shares[t.name]
+        y = plan.bandwidth_shares[t.name]
+        task_server_res[t.name] = FifoResource(
+            f"srv:{t.name}", lm.throughput(server) * x, overhead_s=server.overhead_s
+        )
+        # full-duplex: each direction gets its own serialization queue
+        for direction, store in (("up", task_uplink_res), ("down", task_downlink_res)):
+            store[t.name] = LinkResource(
+                f"link:{t.name}:{direction}",
+                link.bandwidth_bps,
+                rtt_s=link.rtt_s,
+                share=y,
+                trace=cfg.bandwidth_trace,
+            )
+
+    # -- request lifecycle -------------------------------------------------------
+    def launch(task: TaskSpec, req: Request) -> None:
+        model = task.model
+        feats = plan.features[task.name]
+        rng = derive(cfg.seed, "exec", task.name, req.req_id)
+        demand = realize_request(model, feats.plan, req.difficulty, rng)
+        dres = device_res[task.device_name]
+
+        def finish(completion: float, dev_busy: float, srv_busy: float, net_busy: float) -> None:
+            metrics.record(
+                RequestRecord(
+                    task_name=task.name,
+                    req_id=req.req_id,
+                    arrival_s=req.arrival_s,
+                    completion_s=completion,
+                    deadline_s=req.deadline_s,
+                    exit_position=demand.exit_position,
+                    offloaded=demand.offloaded,
+                    correct=demand.correct,
+                    dev_busy_s=dev_busy,
+                    srv_busy_s=srv_busy,
+                    net_busy_s=net_busy,
+                )
+            )
+
+        def stage_device() -> None:
+            start, done = dres.submit(sim.now, demand.dev_flops)
+            dev_busy = done - start
+            if not demand.offloaded:
+                sim.schedule_at(done, lambda: finish(done, dev_busy, 0.0, 0.0))
+                return
+            sim.schedule_at(done, lambda: stage_uplink(dev_busy))
+
+        def stage_uplink(dev_busy: float) -> None:
+            lres = task_uplink_res[task.name]
+            start, done = lres.submit(sim.now, demand.up_bytes)
+            net1 = done - start
+            sim.schedule_at(done, lambda: stage_server(dev_busy, net1))
+
+        def stage_server(dev_busy: float, net1: float) -> None:
+            sres = task_server_res[task.name]
+            start, done = sres.submit(sim.now, demand.srv_flops)
+            srv_busy = done - start
+            sim.schedule_at(done, lambda: stage_downlink(dev_busy, net1, srv_busy))
+
+        def stage_downlink(dev_busy: float, net1: float, srv_busy: float) -> None:
+            lres = task_downlink_res[task.name]
+            start, done = lres.submit(sim.now, demand.down_bytes)
+            net = net1 + (done - start)
+            sim.schedule_at(done, lambda: finish(done, dev_busy, srv_busy, net))
+
+        stage_device()
+
+    # -- arrivals -------------------------------------------------------------
+    total = 0
+    for t in tasks:
+        times = _arrival_times(t, cfg, derive(cfg.seed, "arrivals", t.name))
+        diff_rng = derive(cfg.seed, "difficulty", t.name)
+        difficulties = t.model.difficulty.sample(diff_rng, times.size)
+        for i, (at, d) in enumerate(zip(times, difficulties)):
+            req = Request(
+                task_name=t.name,
+                req_id=i,
+                arrival_s=float(at),
+                difficulty=float(np.clip(d, 0.0, 1.0)),
+                deadline_s=float(at) + t.deadline_s,
+            )
+            sim.schedule_at(float(at), (lambda tt=t, rr=req: launch(tt, rr)))
+            total += 1
+    if total == 0:
+        raise SimulationError("no requests generated; horizon or rates too small")
+
+    sim.run()  # drain everything (all arrivals are bounded by the horizon)
+
+    utils = {r.name: r.utilization(cfg.horizon_s) for r in device_res.values()}
+    for r in task_server_res.values():
+        utils[r.name] = r.utilization(cfg.horizon_s)
+    return metrics.report(cfg.horizon_s, utils)

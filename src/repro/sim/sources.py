@@ -1,0 +1,131 @@
+"""Arrival processes for request streams.
+
+Every source yields strictly increasing arrival times until a horizon.
+Poisson is the default (and what the analytic queueing terms assume); MMPP
+adds burstiness for robustness experiments; deterministic and trace sources
+support closed-form sanity checks and replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson process with mean rate ``rate`` (req/s)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError(f"Poisson rate must be positive, got {self.rate}")
+
+    def generate(self, horizon_s: float, seed: SeedLike = None) -> np.ndarray:
+        if horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        rng = as_generator(seed)
+        # draw in blocks until past the horizon
+        out = []
+        t = 0.0
+        block = max(16, int(self.rate * horizon_s * 1.2) + 16)
+        while t < horizon_s:
+            gaps = rng.exponential(1.0 / self.rate, size=block)
+            times = t + np.cumsum(gaps)
+            out.append(times)
+            t = float(times[-1])
+        arr = np.concatenate(out)
+        return arr[arr < horizon_s]
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals:
+    """Evenly spaced arrivals (period = 1/rate), starting at one period."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate}")
+
+    def generate(self, horizon_s: float, seed: SeedLike = None) -> np.ndarray:
+        if horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        period = 1.0 / self.rate
+        n = int(np.floor(horizon_s / period))
+        times = np.arange(1, n + 1) * period
+        return times[times < horizon_s]  # arrivals strictly before the horizon
+
+
+@dataclass(frozen=True)
+class MMPPArrivals:
+    """2-state Markov-modulated Poisson process (bursty arrivals).
+
+    Alternates between a low-rate and a high-rate phase with exponential
+    holding times; overall mean rate is the holding-time-weighted average.
+    """
+
+    low_rate: float
+    high_rate: float
+    mean_low_s: float = 5.0
+    mean_high_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.low_rate <= 0 or self.high_rate <= 0:
+            raise ConfigError("MMPP rates must be positive")
+        if self.high_rate < self.low_rate:
+            raise ConfigError("high_rate must be >= low_rate")
+        if self.mean_low_s <= 0 or self.mean_high_s <= 0:
+            raise ConfigError("MMPP holding times must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        total = self.mean_low_s + self.mean_high_s
+        return (self.low_rate * self.mean_low_s + self.high_rate * self.mean_high_s) / total
+
+    def generate(self, horizon_s: float, seed: SeedLike = None) -> np.ndarray:
+        if horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        rng = as_generator(seed)
+        out = []
+        t = 0.0
+        high = bool(rng.integers(2))
+        while t < horizon_s:
+            hold = float(
+                rng.exponential(self.mean_high_s if high else self.mean_low_s)
+            )
+            phase_end = min(t + hold, horizon_s)
+            rate = self.high_rate if high else self.low_rate
+            tt = t
+            while True:
+                tt += float(rng.exponential(1.0 / rate))
+                if tt >= phase_end:
+                    break
+                out.append(tt)
+            t = phase_end
+            high = not high
+        return np.array(out)
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Replay explicit arrival timestamps (strictly increasing)."""
+
+    times: Sequence[float]
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.times, dtype=float)
+        if arr.ndim != 1:
+            raise ConfigError("trace must be 1-D")
+        if arr.size and (np.any(arr < 0) or np.any(np.diff(arr) <= 0)):
+            raise ConfigError("trace times must be non-negative, strictly increasing")
+
+    def generate(self, horizon_s: float, seed: SeedLike = None) -> np.ndarray:
+        arr = np.asarray(self.times, dtype=float)
+        return arr[arr < horizon_s]

@@ -1,0 +1,22 @@
+"""Workload generation: scenarios, task mixes, difficulty and traces.
+
+Builds the evaluation instances: an :class:`~repro.devices.cluster.EdgeCluster`
+plus a list of :class:`~repro.core.plan.TaskSpec` with deadlines, accuracy
+floors, arrival rates, and input-difficulty distributions drawn from named
+application scenarios (video analytics, industrial inspection, AR) or fully
+randomized (experiment E6's 200-scenario sweep).
+"""
+
+from repro.workloads.difficulty import DIFFICULTY_PRESETS, difficulty_preset
+from repro.workloads.generator import RandomScenarioConfig, random_scenario
+from repro.workloads.scenarios import Scenario, build_scenario, SCENARIOS
+
+__all__ = [
+    "DIFFICULTY_PRESETS",
+    "RandomScenarioConfig",
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "difficulty_preset",
+    "random_scenario",
+]

@@ -1,0 +1,33 @@
+"""Input-difficulty presets.
+
+The exit-rate of a multi-exit model is driven by how hard the deployment's
+inputs are.  These presets name the three regimes the paper family's
+motivation sections describe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.models.exits import DifficultyDistribution
+
+#: Named difficulty regimes (Beta(alpha, beta) over [0, 1]).
+DIFFICULTY_PRESETS: Dict[str, DifficultyDistribution] = {
+    # surveillance-style: mostly empty/easy frames, rare hard ones
+    "easy": DifficultyDistribution(alpha=1.5, beta=6.0),
+    # balanced benchmark-like mix
+    "mixed": DifficultyDistribution(alpha=2.0, beta=5.0),
+    # cluttered scenes / fine-grained classes: early exits rarely confident
+    "hard": DifficultyDistribution(alpha=4.0, beta=2.5),
+}
+
+
+def difficulty_preset(name: str) -> DifficultyDistribution:
+    """Look up a difficulty regime by name."""
+    try:
+        return DIFFICULTY_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown difficulty preset {name!r}; available: {sorted(DIFFICULTY_PRESETS)}"
+        ) from None

@@ -1,0 +1,106 @@
+"""Randomized scenario generation (experiment E6's 200-scenario sweep).
+
+Samples clusters and task mixes from wide but physically sensible ranges so
+speedup distributions are measured across the deployment space rather than at
+one cherry-picked operating point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.plan import TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.presets import DEVICE_PRESETS, device_preset, heterogeneous_servers
+from repro.errors import ConfigError
+from repro.models import zoo
+from repro.network.link import Link
+from repro.rng import SeedLike, as_generator
+from repro.units import mbps
+from repro.workloads.difficulty import DIFFICULTY_PRESETS
+from repro.workloads.scenarios import multiexit_model
+
+
+@dataclass(frozen=True)
+class RandomScenarioConfig:
+    """Sampling ranges for :func:`random_scenario`."""
+
+    num_tasks: Tuple[int, int] = (3, 10)
+    num_servers: Tuple[int, int] = (1, 4)
+    server_spread: Tuple[float, float] = (1.0, 8.0)
+    access_mbps: Tuple[float, float] = (5.0, 150.0)
+    rtt_ms: Tuple[float, float] = (2.0, 30.0)
+    deadline_ms: Tuple[float, float] = (40.0, 400.0)
+    accuracy_floor: Tuple[float, float] = (0.55, 0.70)
+    arrival_rate: Tuple[float, float] = (1.0, 12.0)
+    num_exits: int = 4
+    models: Tuple[str, ...] = (
+        "alexnet",
+        "resnet18",
+        "resnet34",
+        "resnet50",
+        "vgg16",
+        "mobilenet_v1",
+        "mobilenet_v2",
+        "inception_v1",
+    )
+
+    def __post_init__(self) -> None:
+        for lo, hi in (
+            self.num_tasks,
+            self.num_servers,
+            self.server_spread,
+            self.access_mbps,
+            self.rtt_ms,
+            self.deadline_ms,
+            self.accuracy_floor,
+            self.arrival_rate,
+        ):
+            if lo > hi:
+                raise ConfigError(f"range ({lo}, {hi}) is inverted")
+        unknown = set(self.models) - set(zoo.available_models())
+        if unknown:
+            raise ConfigError(f"unknown models in config: {sorted(unknown)}")
+
+
+def random_scenario(
+    seed: SeedLike, config: RandomScenarioConfig = RandomScenarioConfig()
+) -> Tuple[EdgeCluster, List[TaskSpec]]:
+    """Sample one randomized (cluster, tasks) instance."""
+    rng = as_generator(seed)
+    n_tasks = int(rng.integers(config.num_tasks[0], config.num_tasks[1] + 1))
+    n_servers = int(rng.integers(config.num_servers[0], config.num_servers[1] + 1))
+    spread = float(rng.uniform(*config.server_spread))
+    bw = float(rng.uniform(*config.access_mbps))
+    rtt = float(rng.uniform(*config.rtt_ms)) * 1e-3
+
+    servers = heterogeneous_servers(n_servers, spread=spread, seed=rng)
+    device_names = list(DEVICE_PRESETS)
+    difficulty_names = sorted(DIFFICULTY_PRESETS)
+
+    devices = []
+    tasks: List[TaskSpec] = []
+    for i in range(n_tasks):
+        dp = device_names[int(rng.integers(len(device_names)))]
+        dev = dataclasses.replace(device_preset(dp), name=f"dev{i}")
+        devices.append(dev)
+        model_name = config.models[int(rng.integers(len(config.models)))]
+        diff = difficulty_names[int(rng.integers(len(difficulty_names)))]
+        model = multiexit_model(model_name, config.num_exits, diff)
+        floor = float(rng.uniform(*config.accuracy_floor))
+        # clamp the floor below this model's best attainable accuracy
+        floor = min(floor, model.accuracy_model.final_accuracy - 0.02)
+        tasks.append(
+            TaskSpec(
+                name=f"t{i}",
+                model=model,
+                device_name=dev.name,
+                deadline_s=float(rng.uniform(*config.deadline_ms)) * 1e-3,
+                accuracy_floor=floor,
+                arrival_rate=float(rng.uniform(*config.arrival_rate)),
+            )
+        )
+    cluster = EdgeCluster.star(devices, servers, Link(mbps(bw), rtt_s=rtt))
+    return cluster, tasks

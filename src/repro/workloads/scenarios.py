@@ -1,0 +1,170 @@
+"""Named application scenarios.
+
+Each scenario fixes the cluster shape (device classes, server mix, access
+bandwidth) and the task mix (models, deadlines, accuracy floors, rates,
+difficulty regimes), parameterized by the number of tasks.  Scenario
+parameters follow the workloads the paper family's introductions motivate:
+city-scale video analytics, industrial visual inspection, and mobile AR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plan import TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.presets import SERVER_PRESETS, device_preset, heterogeneous_servers
+from repro.errors import ConfigError
+from repro.models import zoo
+from repro.models.multiexit import MultiExitModel, insert_exits
+from repro.network.link import Link
+from repro.rng import SeedLike, as_generator, derive
+from repro.units import mbps
+from repro.workloads.difficulty import difficulty_preset
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Declarative description of one evaluation scenario."""
+
+    name: str
+    #: (model, device preset, deadline_s, accuracy floor, rate, difficulty)
+    task_templates: Tuple[Tuple[str, str, float, float, float, str], ...]
+    server_names: Tuple[str, ...] = ("edge_cpu", "edge_gpu")
+    access_mbps: float = 40.0
+    rtt_s: float = 10e-3
+    num_exits: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.task_templates:
+            raise ConfigError(f"scenario {self.name}: no task templates")
+        if not self.server_names:
+            raise ConfigError(f"scenario {self.name}: no servers")
+        if self.access_mbps <= 0:
+            raise ConfigError(f"scenario {self.name}: bandwidth must be positive")
+
+
+#: The three named scenarios used by the examples and several experiments.
+SCENARIOS: Dict[str, Scenario] = {
+    # city-scale camera analytics: many cheap cameras, mostly easy frames,
+    # soft 200 ms deadlines, heavyweight backbones
+    "smart_city": Scenario(
+        name="smart_city",
+        task_templates=(
+            ("resnet50", "raspberry_pi4", 0.20, 0.65, 4.0, "easy"),
+            ("vgg16", "raspberry_pi4", 0.25, 0.62, 2.0, "easy"),
+            ("resnet18", "raspberry_pi3", 0.20, 0.60, 5.0, "mixed"),
+        ),
+        server_names=("edge_cpu", "edge_gpu"),
+        access_mbps=40.0,
+    ),
+    # factory-floor defect inspection: hard inputs, strict accuracy floors,
+    # tight 80 ms deadlines, wired links
+    "industrial": Scenario(
+        name="industrial",
+        task_templates=(
+            ("resnet34", "jetson_nano", 0.08, 0.70, 10.0, "hard"),
+            ("inception_v1", "jetson_nano", 0.08, 0.66, 8.0, "hard"),
+            ("mobilenet_v2", "raspberry_pi4", 0.06, 0.64, 15.0, "mixed"),
+        ),
+        server_names=("edge_gpu", "edge_gpu"),
+        access_mbps=200.0,
+        rtt_s=2e-3,
+    ),
+    # mobile AR: phones over wireless, 50 ms budgets, lightweight models
+    "mobile_ar": Scenario(
+        name="mobile_ar",
+        task_templates=(
+            ("mobilenet_v2", "smartphone", 0.05, 0.62, 12.0, "mixed"),
+            ("mobilenet_v1", "smartphone", 0.05, 0.60, 12.0, "mixed"),
+            ("resnet18", "smartphone", 0.07, 0.62, 8.0, "easy"),
+        ),
+        server_names=("edge_tx2", "edge_gpu"),
+        access_mbps=25.0,
+        rtt_s=15e-3,
+    ),
+}
+
+#: cache of multi-exit transforms, keyed by (model, exits, difficulty preset)
+_MODEL_CACHE: Dict[Tuple[str, int, str], MultiExitModel] = {}
+
+
+def multiexit_model(model_name: str, num_exits: int, difficulty: str) -> MultiExitModel:
+    """Build (and cache) the multi-exit transform of a zoo model.
+
+    The transform is deterministic, so caching is safe and saves the graph
+    construction + competence calibration on repeated scenario builds.
+    """
+    key = (model_name, num_exits, difficulty)
+    if key not in _MODEL_CACHE:
+        _MODEL_CACHE[key] = insert_exits(
+            zoo.build(model_name),
+            num_exits=num_exits,
+            difficulty=difficulty_preset(difficulty),
+        )
+    return _MODEL_CACHE[key]
+
+
+def build_scenario(
+    scenario: "Scenario | str",
+    num_tasks: int = 6,
+    num_servers: Optional[int] = None,
+    access_mbps: Optional[float] = None,
+    server_spread: Optional[float] = None,
+    seed: SeedLike = None,
+) -> Tuple[EdgeCluster, List[TaskSpec]]:
+    """Instantiate a scenario: cluster + ``num_tasks`` tasks.
+
+    Tasks cycle through the scenario's templates; each task gets its own end
+    device (named ``dev<i>``).  ``num_servers``/``server_spread`` override the
+    scenario's server list with a generated heterogeneous set; ``access_mbps``
+    overrides the access bandwidth (the experiment sweep knobs).
+    """
+    if isinstance(scenario, str):
+        try:
+            scenario = SCENARIOS[scenario]
+        except KeyError:
+            raise ConfigError(
+                f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+            ) from None
+    if num_tasks < 1:
+        raise ConfigError("num_tasks must be >= 1")
+
+    rng = as_generator(seed)
+    # servers
+    if num_servers is not None or server_spread is not None:
+        n_srv = num_servers if num_servers is not None else len(scenario.server_names)
+        spread = server_spread if server_spread is not None else 4.0
+        servers = heterogeneous_servers(n_srv, spread=spread, base="edge_cpu", seed=rng)
+    else:
+        servers = []
+        for i, sn in enumerate(scenario.server_names):
+            proto = SERVER_PRESETS[sn]
+            servers.append(dataclasses.replace(proto, name=f"{sn}_{i}"))
+
+    bw = access_mbps if access_mbps is not None else scenario.access_mbps
+    link = Link(mbps(bw), rtt_s=scenario.rtt_s)
+
+    devices = []
+    tasks: List[TaskSpec] = []
+    for i in range(num_tasks):
+        model_name, dev_preset, deadline, floor, rate, diff = scenario.task_templates[
+            i % len(scenario.task_templates)
+        ]
+        dev = dataclasses.replace(device_preset(dev_preset), name=f"dev{i}")
+        devices.append(dev)
+        model = multiexit_model(model_name, scenario.num_exits, diff)
+        tasks.append(
+            TaskSpec(
+                name=f"t{i}",
+                model=model,
+                device_name=dev.name,
+                deadline_s=deadline,
+                accuracy_floor=floor,
+                arrival_rate=rate,
+            )
+        )
+    cluster = EdgeCluster.star(devices, servers, link)
+    return cluster, tasks

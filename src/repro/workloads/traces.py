@@ -1,0 +1,116 @@
+"""Workload traces: diurnal rate patterns and trace persistence.
+
+Real request streams are not stationary: camera analytics follow traffic
+cycles, AR follows human activity.  This module generates non-homogeneous
+arrival processes from a rate *envelope* and round-trips traces through
+simple CSV files so experiments can replay recorded workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """Sinusoidal day/night rate envelope.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi*(t/period + phase)))``,
+    clipped below at ``floor_fraction * base``.  Amplitude in [0, 1).
+    """
+
+    base_rate: float
+    amplitude: float = 0.6
+    period_s: float = 86400.0
+    phase: float = 0.0
+    floor_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ConfigError("base_rate must be positive")
+        if not (0.0 <= self.amplitude < 1.0):
+            raise ConfigError("amplitude must be in [0, 1)")
+        if self.period_s <= 0:
+            raise ConfigError("period must be positive")
+        if not (0.0 < self.floor_fraction <= 1.0):
+            raise ConfigError("floor_fraction must be in (0, 1]")
+
+    def rate(self, t: "np.ndarray | float") -> np.ndarray:
+        """Instantaneous arrival rate at time(s) ``t``."""
+        t = np.asarray(t, dtype=float)
+        r = self.base_rate * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * (t / self.period_s + self.phase))
+        )
+        return np.maximum(r, self.base_rate * self.floor_fraction)
+
+    def peak_rate(self) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def generate(self, horizon_s: float, seed: SeedLike = None) -> np.ndarray:
+        """Sample arrivals by thinning a homogeneous Poisson process.
+
+        Standard non-homogeneous Poisson sampling: draw candidates at the
+        peak rate, accept each with probability ``rate(t)/peak``.
+        """
+        if horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        rng = as_generator(seed)
+        peak = self.peak_rate()
+        n_cand = rng.poisson(peak * horizon_s)
+        cand = np.sort(rng.uniform(0.0, horizon_s, size=n_cand))
+        accept = rng.uniform(0.0, 1.0, size=n_cand) < self.rate(cand) / peak
+        return cand[accept]
+
+
+def windowed_rates(
+    arrivals: np.ndarray, horizon_s: float, window_s: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical arrival rate per window — what an online controller measures.
+
+    Returns (window start times, rates).  Used to drive
+    :class:`~repro.core.online.OnlineController` from a recorded trace.
+    """
+    if horizon_s <= 0 or window_s <= 0:
+        raise ConfigError("horizon and window must be positive")
+    arrivals = np.asarray(arrivals, dtype=float)
+    if arrivals.size and (arrivals.min() < 0 or arrivals.max() >= horizon_s):
+        raise ConfigError("arrivals must lie in [0, horizon)")
+    n_win = int(np.ceil(horizon_s / window_s))
+    edges = np.arange(n_win + 1) * window_s
+    counts, _ = np.histogram(arrivals, bins=np.minimum(edges, horizon_s))
+    widths = np.diff(np.minimum(edges, horizon_s))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = np.where(widths > 0, counts / widths, 0.0)
+    return edges[:-1], rates
+
+
+def save_trace(arrivals: Sequence[float], path: str) -> None:
+    """Write arrival timestamps, one per line."""
+    arr = np.asarray(arrivals, dtype=float)
+    if arr.size and np.any(np.diff(arr) <= 0):
+        raise ConfigError("trace must be strictly increasing")
+    with open(path, "w") as fh:
+        fh.write("# arrival_s\n")
+        for t in arr:
+            fh.write(f"{t:.9f}\n")
+
+
+def load_trace(path: str) -> np.ndarray:
+    """Read a trace written by :func:`save_trace`."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            out.append(float(line))
+    arr = np.array(out)
+    if arr.size and np.any(np.diff(arr) <= 0):
+        raise ConfigError(f"trace in {path} is not strictly increasing")
+    return arr

@@ -1,0 +1,74 @@
+"""Markdown report rendering."""
+
+import pytest
+
+from repro.analysis.report import (
+    render_experiment_section,
+    render_markdown_report,
+    render_scorecard,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult
+
+
+def make_result(exp_id="E1", title="demo"):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        headers=["a", "b"],
+        rows=[(1, 2.0)],
+        notes=["a note"],
+    )
+
+
+class TestSections:
+    def test_section_contains_table_and_commentary(self):
+        s = render_experiment_section(make_result(), commentary="**expect** X")
+        assert "## E1 — demo" in s
+        assert "**expect** X" in s
+        assert "a note" in s
+
+    def test_section_without_commentary(self):
+        s = render_experiment_section(make_result())
+        assert "## E1" in s
+
+
+class TestReport:
+    def test_orders_e_before_a(self):
+        report = render_markdown_report(
+            [make_result("A1"), make_result("E2"), make_result("E10")],
+            title="T",
+        )
+        i_e2 = report.index("## E2")
+        i_e10 = report.index("## E10")
+        i_a1 = report.index("## A1")
+        assert i_e2 < i_e10 < i_a1
+
+    def test_preamble_and_commentary(self):
+        report = render_markdown_report(
+            [make_result("E1")],
+            preamble="hello world",
+            commentary={"E1": "shape holds"},
+        )
+        assert "hello world" in report
+        assert "shape holds" in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_markdown_report([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            render_markdown_report([make_result("E1"), make_result("E1")])
+
+
+class TestScorecard:
+    def test_renders_markdown_table(self):
+        s = render_scorecard([("E1", "fig", "shape", "✅")])
+        lines = s.splitlines()
+        assert lines[0].startswith("| ID |")
+        assert "E1" in lines[2]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            render_scorecard([("E1", "fig")])

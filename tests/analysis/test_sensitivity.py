@@ -1,0 +1,87 @@
+"""Plan sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    TaskSensitivity,
+    plan_sensitivity,
+    sensitivity_table,
+)
+from repro.core.joint import JointOptimizer
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def solved(small_cluster, small_tasks, small_candidates):
+    return JointOptimizer(small_cluster).solve(
+        small_tasks, candidates=small_candidates, seed=0
+    ).plan
+
+
+class TestPlanSensitivity:
+    def test_one_entry_per_task(self, small_cluster, small_tasks, solved):
+        sens = plan_sensitivity(small_tasks, solved, small_cluster)
+        assert [s.task_name for s in sens] == [t.name for t in small_tasks]
+
+    def test_elasticities_nonpositive(self, small_cluster, small_tasks, solved):
+        # more bandwidth / faster servers can only help
+        for s in plan_sensitivity(small_tasks, solved, small_cluster):
+            assert s.bandwidth_elasticity <= 1e-9
+            assert s.server_elasticity <= 1e-9
+
+    def test_elasticity_magnitudes_bounded(self, small_cluster, small_tasks, solved):
+        # latency has additive fixed parts, so |elasticity| <= ~1 off
+        # saturation (queueing can amplify slightly; allow headroom)
+        for s in plan_sensitivity(small_tasks, solved, small_cluster):
+            assert abs(s.bandwidth_elasticity) < 3.0
+            assert abs(s.server_elasticity) < 3.0
+
+    def test_offloaded_tasks_are_network_or_server_bound(
+        self, small_cluster, small_tasks, solved
+    ):
+        sens = plan_sensitivity(small_tasks, solved, small_cluster)
+        for t, s in zip(small_tasks, sens):
+            if solved.assignment[t.name] is not None and solved.features[
+                t.name
+            ].p_offload > 0.5:
+                assert s.dominant_resource in ("bandwidth", "server")
+
+    def test_local_only_plan_insensitive(self, small_cluster, small_tasks, small_candidates):
+        from repro.baselines import BranchyLocal
+
+        local = BranchyLocal().solve(
+            small_tasks, small_cluster, candidates=small_candidates
+        )
+        sens = plan_sensitivity(
+            small_tasks, local, small_cluster, include_queueing=False
+        )
+        for s in sens:
+            assert s.bandwidth_elasticity == pytest.approx(0.0, abs=1e-9)
+            assert s.server_elasticity == pytest.approx(0.0, abs=1e-9)
+            assert s.dominant_resource == "device"
+
+    def test_invalid_perturbation(self, small_cluster, small_tasks, solved):
+        with pytest.raises(ConfigError):
+            plan_sensitivity(small_tasks, solved, small_cluster, perturbation=0.9)
+
+    def test_unknown_task_rejected(self, small_cluster, small_tasks, solved, me_resnet18):
+        from repro.core.plan import TaskSpec
+
+        ghost = TaskSpec("ghost", me_resnet18, "dev0")
+        with pytest.raises(ConfigError):
+            plan_sensitivity([ghost], solved, small_cluster)
+
+    def test_table_renders(self, small_cluster, small_tasks, solved):
+        s = sensitivity_table(plan_sensitivity(small_tasks, solved, small_cluster))
+        assert "bound_by" in s and "t0" in s
+
+
+class TestDominantResource:
+    def test_thresholding(self):
+        dev = TaskSensitivity("t", 0.1, -0.01, -0.02)
+        assert dev.dominant_resource == "device"
+        bw = TaskSensitivity("t", 0.1, -0.8, -0.1)
+        assert bw.dominant_resource == "bandwidth"
+        srv = TaskSensitivity("t", 0.1, -0.1, -0.8)
+        assert srv.dominant_resource == "server"

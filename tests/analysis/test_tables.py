@@ -1,0 +1,33 @@
+"""ASCII tables."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigError
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        s = format_table(["a", "b"], [(1, 2.5), ("x", 3.0)])
+        assert "a" in s and "x" in s and "2.500" in s
+
+    def test_title(self):
+        s = format_table(["a"], [(1,)], title="hello")
+        assert s.splitlines()[0] == "hello"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_custom_float_format(self):
+        s = format_table(["v"], [(1.23456,)], float_fmt="{:.1f}")
+        assert "1.2" in s and "1.235" not in s
+
+    def test_empty_rows_ok(self):
+        s = format_table(["a"], [])
+        assert "a" in s
+
+    def test_columns_aligned(self):
+        s = format_table(["col"], [(1,), (100,)])
+        lines = s.splitlines()
+        assert len(lines[-1]) == len(lines[-2])

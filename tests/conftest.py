@@ -1,0 +1,101 @@
+"""Shared fixtures.
+
+Expensive artifacts (zoo graphs, multi-exit transforms, candidate sets) are
+session-scoped: they are deterministic and immutable, so sharing them across
+tests only saves time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.candidates import build_candidates
+from repro.core.plan import TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.latency import LatencyModel
+from repro.devices.presets import SERVER_PRESETS, device_preset
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    Activation,
+    Conv2D,
+    Dense,
+    Flatten,
+    Input,
+    Pool,
+    Softmax,
+)
+from repro.network.link import Link
+from repro.units import mbps
+from repro.workloads.scenarios import multiexit_model
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> ModelGraph:
+    """A small, fast-to-build chain CNN used by unit tests."""
+    return ModelGraph.chain(
+        "tiny",
+        [
+            Input("input", shape=(3, 32, 32)),
+            Conv2D("conv1", out_channels=8, kernel=3, padding=1),
+            Activation("relu1"),
+            Pool("pool1", kernel=2, stride=2),
+            Conv2D("conv2", out_channels=16, kernel=3, padding=1),
+            Activation("relu2"),
+            Pool("pool2", kernel=2, stride=2),
+            Flatten("flatten"),
+            Dense("fc", out_features=10),
+            Softmax("softmax"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def me_resnet18():
+    """Multi-exit ResNet-18 (cached by the workloads layer)."""
+    return multiexit_model("resnet18", 4, "mixed")
+
+
+@pytest.fixture(scope="session")
+def me_alexnet():
+    return multiexit_model("alexnet", 3, "easy")
+
+
+@pytest.fixture(scope="session")
+def pi4():
+    return device_preset("raspberry_pi4")
+
+
+@pytest.fixture(scope="session")
+def edge_gpu():
+    return SERVER_PRESETS["edge_gpu"]
+
+
+@pytest.fixture(scope="session")
+def latency_model():
+    return LatencyModel()
+
+
+@pytest.fixture(scope="session")
+def small_cluster(pi4):
+    """2 Pi-class devices, 1 CPU + 1 GPU server, 40 Mbps star."""
+    devices = [dataclasses.replace(pi4, name=f"dev{i}") for i in range(2)]
+    servers = [
+        dataclasses.replace(SERVER_PRESETS["edge_cpu"], name="srv_cpu"),
+        dataclasses.replace(SERVER_PRESETS["edge_gpu"], name="srv_gpu"),
+    ]
+    return EdgeCluster.star(devices, servers, Link(mbps(40), rtt_s=10e-3))
+
+
+@pytest.fixture(scope="session")
+def small_tasks(me_resnet18, me_alexnet):
+    return [
+        TaskSpec("t0", me_resnet18, "dev0", deadline_s=0.2, accuracy_floor=0.6, arrival_rate=3.0),
+        TaskSpec("t1", me_alexnet, "dev1", deadline_s=0.25, accuracy_floor=0.5, arrival_rate=2.0),
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_candidates(small_tasks):
+    return [build_candidates(t) for t in small_tasks]

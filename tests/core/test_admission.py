@@ -1,0 +1,83 @@
+"""Admission control."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.admission import admit_tasks
+from repro.errors import ConfigError
+
+
+class TestAdmitTasks:
+    def test_underloaded_admits_all(self, small_cluster, small_tasks, small_candidates):
+        relaxed = [dataclasses.replace(t, deadline_s=5.0) for t in small_tasks]
+        res = admit_tasks(relaxed, small_cluster, candidates=small_candidates)
+        assert len(res.admitted) == len(relaxed)
+        assert not res.rejected
+        assert res.plan is not None
+        assert res.admission_ratio == 1.0
+
+    def test_overloaded_rejects_some(self, small_cluster, small_tasks, small_candidates):
+        hot = [
+            dataclasses.replace(t, deadline_s=0.02, arrival_rate=30.0)
+            for t in small_tasks
+        ]
+        res = admit_tasks(hot, small_cluster, candidates=small_candidates)
+        assert res.rejected  # impossible deadlines force rejections
+
+    def test_admitted_meet_deadlines(self, small_cluster, small_tasks, small_candidates):
+        mixed = [
+            dataclasses.replace(small_tasks[0], deadline_s=0.5),
+            dataclasses.replace(small_tasks[1], deadline_s=0.001),  # impossible
+        ]
+        res = admit_tasks(mixed, small_cluster, candidates=small_candidates)
+        assert res.plan is not None
+        for t in res.admitted:
+            assert res.plan.latencies[t.name] <= t.deadline_s + 1e-9
+
+    def test_low_weight_rejected_first(self, small_cluster, small_tasks, small_candidates):
+        important = dataclasses.replace(
+            small_tasks[0], deadline_s=0.002, weight=10.0, name="vip"
+        )
+        expendable = dataclasses.replace(
+            small_tasks[1], deadline_s=0.002, weight=0.1, name="spot"
+        )
+        res = admit_tasks(
+            [important, expendable], small_cluster, candidates=small_candidates
+        )
+        if res.rejected:
+            assert res.rejected[0].name != "vip" or len(res.rejected) == 2
+
+    def test_rejection_log_records_ratios(self, small_cluster, small_tasks, small_candidates):
+        hot = [
+            dataclasses.replace(t, deadline_s=0.001, arrival_rate=50.0)
+            for t in small_tasks
+        ]
+        res = admit_tasks(hot, small_cluster, candidates=small_candidates)
+        assert len(res.rejection_log) == len(res.rejected)
+        for name, ratio in res.rejection_log:
+            assert ratio > 1.0 or not np.isfinite(ratio)
+
+    def test_margin_tightens_admission(self, small_cluster, small_tasks, small_candidates):
+        tasks = [dataclasses.replace(t, deadline_s=0.25) for t in small_tasks]
+        loose = admit_tasks(tasks, small_cluster, candidates=small_candidates, margin=1.0)
+        tight = admit_tasks(tasks, small_cluster, candidates=small_candidates, margin=0.1)
+        assert len(tight.admitted) <= len(loose.admitted)
+
+    def test_terminates_when_nothing_admittable(self, small_cluster, small_tasks, small_candidates):
+        impossible = [
+            dataclasses.replace(t, deadline_s=1e-6) for t in small_tasks
+        ]
+        res = admit_tasks(impossible, small_cluster, candidates=small_candidates)
+        assert not res.admitted
+        assert res.plan is None
+        assert res.rounds <= len(impossible)
+
+    def test_empty_tasks_raise(self, small_cluster):
+        with pytest.raises(ConfigError):
+            admit_tasks([], small_cluster)
+
+    def test_invalid_margin(self, small_cluster, small_tasks, small_candidates):
+        with pytest.raises(ConfigError):
+            admit_tasks(small_tasks, small_cluster, candidates=small_candidates, margin=0.0)

@@ -1,0 +1,72 @@
+"""Best-response offloading game."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import best_response_offloading
+from repro.core.joint import JointOptimizer
+from repro.errors import ConfigError
+
+
+class TestBestResponse:
+    def test_produces_complete_plan(self, small_cluster, small_tasks, small_candidates):
+        res = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=0
+        )
+        assert set(res.plan.latencies) == {t.name for t in small_tasks}
+        assert np.isfinite(res.plan.objective_value)
+
+    def test_converges_to_equilibrium(self, small_cluster, small_tasks, small_candidates):
+        res = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=0
+        )
+        assert res.converged
+        assert res.rounds <= 30
+
+    def test_close_to_centralized(self, small_cluster, small_tasks, small_candidates):
+        br = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=0
+        )
+        bcd = JointOptimizer(small_cluster).solve(
+            small_tasks, candidates=small_candidates, seed=0
+        )
+        gap = br.plan.objective_value / bcd.plan.objective_value
+        assert gap < 1.25  # "close-to-optimal" guarantee band
+
+    def test_history_recorded(self, small_cluster, small_tasks, small_candidates):
+        res = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=0
+        )
+        assert len(res.history) == res.rounds + 1
+
+    def test_final_history_matches_objective(self, small_cluster, small_tasks, small_candidates):
+        res = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=0
+        )
+        assert res.history[-1] == pytest.approx(res.plan.objective_value)
+
+    def test_deterministic_given_seed(self, small_cluster, small_tasks, small_candidates):
+        a = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=3
+        )
+        b = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=3
+        )
+        assert a.plan.objective_value == b.plan.objective_value
+
+    def test_empty_tasks_raise(self, small_cluster):
+        with pytest.raises(ConfigError):
+            best_response_offloading([], small_cluster)
+
+    def test_candidates_mismatch_raises(self, small_cluster, small_tasks, small_candidates):
+        with pytest.raises(ConfigError):
+            best_response_offloading(
+                small_tasks, small_cluster, candidates=small_candidates[:1]
+            )
+
+    def test_accuracy_floors_respected(self, small_cluster, small_tasks, small_candidates):
+        res = best_response_offloading(
+            small_tasks, small_cluster, candidates=small_candidates, seed=0
+        )
+        for t in small_tasks:
+            assert res.plan.features[t.name].accuracy >= t.accuracy_floor - 1e-9

@@ -1,0 +1,62 @@
+"""Exhaustive optimum on tiny instances."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import build_candidates
+from repro.core.distributed import best_response_offloading
+from repro.core.exhaustive import exhaustive_optimum
+from repro.core.joint import JointOptimizer
+from repro.core.plan import TaskSpec
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def tiny_instance(small_cluster, me_alexnet):
+    tasks = [
+        TaskSpec("t0", me_alexnet, "dev0", deadline_s=0.3, accuracy_floor=0.5, arrival_rate=2.0),
+        TaskSpec("t1", me_alexnet, "dev1", deadline_s=0.3, accuracy_floor=0.5, arrival_rate=2.0),
+    ]
+    cands = [
+        build_candidates(t, threshold_grid=(0.8,), max_cuts=4).subsample(8) for t in tasks
+    ]
+    return tasks, cands
+
+
+class TestExhaustive:
+    def test_lower_bounds_heuristics(self, small_cluster, tiny_instance):
+        from repro.core.joint import JointSolverConfig
+
+        tasks, cands = tiny_instance
+        opt = exhaustive_optimum(tasks, small_cluster, candidates=cands)
+        # same search space: threshold refinement off (it may beat the
+        # enumerated optimum by leaving the candidate set)
+        bcd = JointOptimizer(
+            small_cluster, config=JointSolverConfig(refine_thresholds=False)
+        ).solve(tasks, candidates=cands).plan
+        br = best_response_offloading(tasks, small_cluster, candidates=cands, seed=0).plan
+        assert opt.objective_value <= bcd.objective_value + 1e-9
+        assert opt.objective_value <= br.objective_value + 1e-9
+
+    def test_refinement_can_beat_enumerated_optimum(self, small_cluster, tiny_instance):
+        tasks, cands = tiny_instance
+        opt = exhaustive_optimum(tasks, small_cluster, candidates=cands)
+        refined = JointOptimizer(small_cluster).solve(tasks, candidates=cands).plan
+        assert refined.objective_value <= opt.objective_value + 1e-9
+
+    def test_feasible_output(self, small_cluster, tiny_instance):
+        tasks, cands = tiny_instance
+        opt = exhaustive_optimum(tasks, small_cluster, candidates=cands)
+        assert np.isfinite(opt.objective_value)
+        for t in tasks:
+            assert np.isfinite(opt.latencies[t.name])
+
+    def test_budget_guard(self, small_cluster, small_tasks, small_candidates):
+        with pytest.raises(ConfigError):
+            exhaustive_optimum(
+                small_tasks, small_cluster, candidates=small_candidates, budget=10
+            )
+
+    def test_empty_tasks_raise(self, small_cluster):
+        with pytest.raises(ConfigError):
+            exhaustive_optimum([], small_cluster)

@@ -1,0 +1,134 @@
+"""Online re-optimization controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import (
+    ControllerConfig,
+    EnvironmentSample,
+    OnlineController,
+)
+from repro.errors import ConfigError
+from repro.units import mbps
+
+
+@pytest.fixture()
+def controller(small_cluster, small_tasks, small_candidates):
+    return OnlineController(
+        small_cluster,
+        small_tasks,
+        candidates=small_candidates,
+        config=ControllerConfig(replan_threshold=0.3, min_replan_interval_s=1.0),
+    )
+
+
+def all_links(cluster, bw):
+    return {k: bw for k in cluster.topology.links}
+
+
+class TestConfigValidation:
+    def test_negative_threshold(self):
+        with pytest.raises(ConfigError):
+            ControllerConfig(replan_threshold=-0.1)
+
+    def test_negative_interval(self):
+        with pytest.raises(ConfigError):
+            ControllerConfig(min_replan_interval_s=-1.0)
+
+    def test_sample_validation(self):
+        with pytest.raises(ConfigError):
+            EnvironmentSample(time_s=-1.0)
+        with pytest.raises(ConfigError):
+            EnvironmentSample(time_s=0.0, arrival_rates={"t": 0.0})
+
+
+class TestController:
+    def test_initial_plan_solved(self, controller, small_tasks):
+        assert set(controller.plan.latencies) == {t.name for t in small_tasks}
+        assert np.isfinite(controller.plan.objective_value)
+        assert controller.replan_count == 0
+
+    def test_small_drift_no_replan(self, controller, small_cluster):
+        fired = controller.observe(
+            EnvironmentSample(
+                time_s=5.0,
+                bandwidth_bps=all_links(small_cluster, mbps(40) * 1.1),
+            )
+        )
+        assert not fired
+        assert controller.replan_count == 0
+
+    def test_large_drift_replans(self, controller, small_cluster):
+        fired = controller.observe(
+            EnvironmentSample(
+                time_s=5.0, bandwidth_bps=all_links(small_cluster, mbps(2))
+            )
+        )
+        assert fired
+        assert controller.replan_count == 1
+
+    def test_hysteresis_blocks_flapping(self, small_cluster, small_tasks, small_candidates):
+        c = OnlineController(
+            small_cluster,
+            small_tasks,
+            candidates=small_candidates,
+            config=ControllerConfig(replan_threshold=0.1, min_replan_interval_s=100.0),
+        )
+        assert not c.observe(
+            EnvironmentSample(time_s=1.0, bandwidth_bps=all_links(small_cluster, mbps(5)))
+        )
+        assert "hysteresis" in c.events[-1].reason
+
+    def test_arrival_drift_replans(self, controller, small_tasks):
+        fired = controller.observe(
+            EnvironmentSample(
+                time_s=5.0,
+                arrival_rates={small_tasks[0].name: small_tasks[0].arrival_rate * 3},
+            )
+        )
+        assert fired
+
+    def test_replan_adapts_to_fade(self, controller, small_cluster):
+        before = controller.plan
+        controller.observe(
+            EnvironmentSample(
+                time_s=5.0, bandwidth_bps=all_links(small_cluster, mbps(0.5))
+            )
+        )
+        after = controller.plan
+        # the faded plan ships (weakly) fewer expected bytes per request
+        wire_before = sum(f.wire_bytes for f in before.features.values())
+        wire_after = sum(f.wire_bytes for f in after.features.values())
+        assert wire_after <= wire_before + 1e-9
+
+    def test_unknown_link_rejected(self, controller):
+        with pytest.raises(ConfigError):
+            controller.observe(
+                EnvironmentSample(time_s=1.0, bandwidth_bps={("x", "y"): 1e6})
+            )
+
+    def test_unknown_task_rejected(self, controller):
+        with pytest.raises(ConfigError):
+            controller.observe(
+                EnvironmentSample(time_s=1.0, arrival_rates={"ghost": 1.0})
+            )
+
+    def test_events_logged(self, controller, small_cluster):
+        controller.observe(
+            EnvironmentSample(time_s=2.0, bandwidth_bps=all_links(small_cluster, mbps(41)))
+        )
+        controller.observe(
+            EnvironmentSample(time_s=4.0, bandwidth_bps=all_links(small_cluster, mbps(1)))
+        )
+        assert [e.replanned for e in controller.events] == [True, False, True]
+
+    def test_current_tasks_reflect_rates(self, controller, small_tasks, small_cluster):
+        controller.observe(
+            EnvironmentSample(time_s=5.0, arrival_rates={small_tasks[0].name: 9.0})
+        )
+        tasks = controller.current_tasks()
+        assert tasks[0].arrival_rate == 9.0
+
+    def test_empty_tasks_rejected(self, small_cluster):
+        with pytest.raises(ConfigError):
+            OnlineController(small_cluster, [])

@@ -1,0 +1,48 @@
+"""Energy model accounting."""
+
+import pytest
+
+from repro.devices.energy import EnergyModel
+from repro.errors import ConfigError
+
+EM = EnergyModel()
+
+
+class TestDeviceEnergy:
+    def test_breakdown_totals(self, pi4):
+        e = EM.device_energy(pi4, compute_s=1.0, tx_s=0.5, wait_s=0.2)
+        assert e.total_j == pytest.approx(e.compute_j + e.tx_j + e.idle_wait_j)
+
+    def test_compute_uses_busy_power(self, pi4):
+        e = EM.device_energy(pi4, compute_s=2.0, tx_s=0.0, wait_s=0.0)
+        assert e.compute_j == pytest.approx(2.0 * pi4.busy_power_w)
+
+    def test_tx_adds_radio_power(self, pi4):
+        e = EM.device_energy(pi4, compute_s=0.0, tx_s=1.0, wait_s=0.0)
+        assert e.tx_j == pytest.approx(pi4.idle_power_w + pi4.tx_power_w)
+
+    def test_wait_uses_idle_power(self, pi4):
+        e = EM.device_energy(pi4, compute_s=0.0, tx_s=0.0, wait_s=3.0)
+        assert e.idle_wait_j == pytest.approx(3.0 * pi4.idle_power_w)
+
+    def test_negative_duration_raises(self, pi4):
+        with pytest.raises(ConfigError):
+            EM.device_energy(pi4, compute_s=-1.0, tx_s=0.0, wait_s=0.0)
+
+
+class TestServerEnergy:
+    def test_scales_with_share(self, edge_gpu):
+        half = EM.server_energy(edge_gpu, compute_s=1.0, share=0.5)
+        full = EM.server_energy(edge_gpu, compute_s=1.0, share=1.0)
+        assert half == pytest.approx(full / 2)
+
+    def test_zero_compute_zero_energy(self, edge_gpu):
+        assert EM.server_energy(edge_gpu, compute_s=0.0) == 0.0
+
+    def test_invalid_share(self, edge_gpu):
+        with pytest.raises(ConfigError):
+            EM.server_energy(edge_gpu, compute_s=1.0, share=0.0)
+
+    def test_negative_compute_raises(self, edge_gpu):
+        with pytest.raises(ConfigError):
+            EM.server_energy(edge_gpu, compute_s=-0.1)

@@ -1,0 +1,71 @@
+"""Device presets and heterogeneous server generation."""
+
+import numpy as np
+import pytest
+
+from repro.devices.presets import (
+    DEVICE_PRESETS,
+    SERVER_PRESETS,
+    device_preset,
+    heterogeneous_servers,
+)
+from repro.errors import ConfigError
+
+
+class TestPresets:
+    def test_all_end_devices_typed(self):
+        for d in DEVICE_PRESETS.values():
+            assert d.kind == "end_device"
+
+    def test_all_servers_typed(self):
+        for s in SERVER_PRESETS.values():
+            assert s.kind == "server"
+
+    def test_lookup_both_kinds(self):
+        assert device_preset("raspberry_pi4").name == "raspberry_pi4"
+        assert device_preset("edge_gpu").name == "edge_gpu"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            device_preset("cray")
+
+    def test_capability_ordering(self):
+        assert (
+            DEVICE_PRESETS["raspberry_pi3"].peak_flops
+            < DEVICE_PRESETS["raspberry_pi4"].peak_flops
+            < DEVICE_PRESETS["jetson_nano"].peak_flops
+        )
+        assert SERVER_PRESETS["edge_cpu"].peak_flops < SERVER_PRESETS["edge_gpu"].peak_flops
+
+
+class TestHeterogeneousServers:
+    def test_count_and_kind(self):
+        servers = heterogeneous_servers(4, spread=4.0, seed=0)
+        assert len(servers) == 4
+        assert all(s.is_server() for s in servers)
+
+    def test_spread_controls_ratio(self):
+        servers = heterogeneous_servers(4, spread=8.0, seed=0)
+        flops = sorted(s.peak_flops for s in servers)
+        ratio = flops[-1] / flops[0]
+        assert 4.0 < ratio < 16.0  # ~spread, with jitter
+
+    def test_homogeneous_at_spread_one(self):
+        servers = heterogeneous_servers(4, spread=1.0, seed=0)
+        flops = np.array([s.peak_flops for s in servers])
+        assert flops.max() / flops.min() < 1.3  # jitter only
+
+    def test_unique_names(self):
+        servers = heterogeneous_servers(5, seed=0)
+        assert len({s.name for s in servers}) == 5
+
+    def test_deterministic_given_seed(self):
+        a = heterogeneous_servers(3, spread=4.0, seed=42)
+        b = heterogeneous_servers(3, spread=4.0, seed=42)
+        assert [s.peak_flops for s in a] == [s.peak_flops for s in b]
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            heterogeneous_servers(0)
+        with pytest.raises(ConfigError):
+            heterogeneous_servers(2, spread=0.5)

@@ -1,0 +1,84 @@
+"""Experiment registry and fast-experiment smoke runs.
+
+Slow simulator-heavy experiments are exercised by the benchmark suite; here
+we smoke-run the fast ones with reduced knobs and verify their invariants.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_all_fourteen_plus_ablations_registered(self):
+        assert {f"E{i}" for i in range(1, 15)} <= set(EXPERIMENTS)
+        assert {f"A{i}" for i in range(1, 5)} <= set(EXPERIMENTS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ConfigError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        r = run_experiment(
+            "e1", models=("alexnet",), devices=("raspberry_pi4",)
+        )
+        assert r.exp_id == "E1"
+
+
+class TestE1:
+    def test_profiles_and_boundaries(self):
+        r = run_experiment("E1", models=("alexnet",), devices=("raspberry_pi4", "edge_gpu"))
+        assert len(r.rows) == 2
+        sizes = r.extras["boundaries"]["alexnet"]
+        # non-monotone boundary sizes: min interior << input
+        assert sizes[1:-1].min() < sizes[0]
+
+    def test_format_renders(self):
+        r = run_experiment("E1", models=("alexnet",), devices=("edge_gpu",))
+        assert "alexnet" in r.format()
+
+
+class TestE2:
+    def test_shapes(self):
+        r = run_experiment(
+            "E2", model_name="resnet18", bandwidths_mbps=(1.0, 10.0, 100.0)
+        )
+        s = r.extras["series"]
+        # device-only is bandwidth-independent
+        assert len(set(round(v, 9) for v in s["device_only"])) == 1
+        # edge improves with bandwidth
+        assert s["edge_only"][-1] < s["edge_only"][0]
+        # joint dominates at every point
+        for i in range(3):
+            assert s["joint"][i] <= min(
+                s["device_only"][i], s["edge_only"][i], s["neurosurgeon"][i]
+            ) + 1e-9
+
+
+class TestE3:
+    def test_latency_monotone_in_floor(self):
+        r = run_experiment(
+            "E3", models=("resnet18",), floors=(0.55, 0.62, 0.68)
+        )
+        frontier = r.extras["frontier"]["resnet18"]
+        floors = sorted(frontier)
+        lats = [frontier[f] for f in floors if math.isfinite(frontier[f])]
+        assert all(b >= a - 1e-9 for a, b in zip(lats, lats[1:]))
+
+
+class TestE7:
+    def test_monotone_histories(self):
+        r = run_experiment("E7", num_tasks=4)
+        hist = [h for h in r.extras["bcd_history"] if math.isfinite(h)]
+        assert all(b <= a + 1e-12 for a, b in zip(hist, hist[1:]))
+        assert r.extras["bcd_converged"]
+
+
+class TestE9:
+    def test_runs_small(self):
+        r = run_experiment("E9", sizes=((4, 2),))
+        assert len(r.rows) == 1
+        assert r.rows[0][3] < 30.0  # solve time

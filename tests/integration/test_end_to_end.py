@@ -1,0 +1,94 @@
+"""Cross-module integration: the full solve -> simulate pipeline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    JointOptimizer,
+    Objective,
+    SimulationConfig,
+    build_scenario,
+    best_response_offloading,
+    simulate_plan,
+)
+from repro.baselines import EdgeOnly, Edgent
+from repro.core.candidates import build_candidates
+
+
+@pytest.fixture(scope="module")
+def instance():
+    cluster, tasks = build_scenario("smart_city", num_tasks=4, seed=0)
+    cands = [build_candidates(t) for t in tasks]
+    return cluster, tasks, cands
+
+
+class TestSolveSimulateRoundTrip:
+    def test_prediction_vs_measurement(self, instance):
+        """Predicted expected latency within 40% of long-horizon simulation."""
+        cluster, tasks, cands = instance
+        plan = JointOptimizer(cluster).solve(tasks, candidates=cands).plan
+        rep = simulate_plan(
+            tasks, plan, cluster, SimulationConfig(horizon_s=60.0, warmup_s=10.0, seed=1)
+        )
+        for t in tasks:
+            predicted = plan.latencies[t.name]
+            measured = rep.per_task[t.name].mean_latency_s
+            assert measured == pytest.approx(predicted, rel=0.4), t.name
+
+    def test_measured_accuracy_meets_floor(self, instance):
+        cluster, tasks, cands = instance
+        plan = JointOptimizer(cluster).solve(tasks, candidates=cands).plan
+        rep = simulate_plan(
+            tasks, plan, cluster, SimulationConfig(horizon_s=60.0, warmup_s=5.0, seed=2)
+        )
+        for t in tasks:
+            # sampled accuracy within 3-sigma binomial noise of the floor
+            stats = rep.per_task[t.name]
+            sigma = (t.accuracy_floor * (1 - t.accuracy_floor) / stats.count) ** 0.5
+            assert stats.accuracy >= t.accuracy_floor - 3 * sigma
+
+    def test_joint_beats_baselines_when_simulated(self, instance):
+        cluster, tasks, cands = instance
+        joint = JointOptimizer(cluster).solve(tasks, candidates=cands).plan
+        edge = EdgeOnly().solve(tasks, cluster, candidates=cands)
+        edgent = Edgent().solve(tasks, cluster, candidates=cands)
+        cfg = SimulationConfig(horizon_s=30.0, warmup_s=3.0, seed=3)
+        m_joint = simulate_plan(tasks, joint, cluster, cfg).mean_latency_s
+        m_edge = simulate_plan(tasks, edge, cluster, cfg).mean_latency_s
+        m_edgent = simulate_plan(tasks, edgent, cluster, cfg).mean_latency_s
+        assert m_joint <= m_edge * 1.05
+        assert m_joint <= m_edgent * 1.05
+
+    def test_distributed_plan_simulates_close_to_centralized(self, instance):
+        cluster, tasks, cands = instance
+        bcd = JointOptimizer(cluster).solve(tasks, candidates=cands).plan
+        br = best_response_offloading(tasks, cluster, candidates=cands, seed=0).plan
+        cfg = SimulationConfig(horizon_s=30.0, warmup_s=3.0, seed=4)
+        m_bcd = simulate_plan(tasks, bcd, cluster, cfg).mean_latency_s
+        m_br = simulate_plan(tasks, br, cluster, cfg).mean_latency_s
+        assert m_br <= m_bcd * 1.3
+
+
+class TestObjectiveConsistency:
+    def test_deadline_objective_improves_miss_rate(self, instance):
+        cluster, tasks, cands = instance
+        tight = [dataclasses.replace(t, deadline_s=t.deadline_s * 0.8) for t in tasks]
+        lat_plan = JointOptimizer(cluster, objective=Objective.AVG_LATENCY).solve(
+            tight, candidates=cands
+        ).plan
+        miss_plan = JointOptimizer(cluster, objective=Objective.DEADLINE_MISS).solve(
+            tight, candidates=cands
+        ).plan
+        cfg = SimulationConfig(horizon_s=40.0, warmup_s=4.0, seed=5)
+        m_lat = simulate_plan(tight, lat_plan, cluster, cfg)
+        m_miss = simulate_plan(tight, miss_plan, cluster, cfg)
+        # optimizing for deadlines never yields a (much) worse miss rate
+        assert m_miss.miss_rate <= m_lat.miss_rate + 0.05
+
+    def test_scenarios_all_solvable(self):
+        for name in ("smart_city", "industrial", "mobile_ar"):
+            cluster, tasks = build_scenario(name, num_tasks=3, seed=1)
+            res = JointOptimizer(cluster).solve(tasks)
+            assert np.isfinite(res.plan.objective_value), name

@@ -1,0 +1,207 @@
+"""Unit tests for the layer shape/FLOPs/params algebra."""
+
+import math
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.models.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    LocalResponseNorm,
+    Pool,
+    Softmax,
+    conv_out_hw,
+    layer_params,
+    shape_bytes,
+    shape_elements,
+)
+
+
+class TestShapeHelpers:
+    def test_elements(self):
+        assert shape_elements((3, 4, 5)) == 60
+
+    def test_elements_flat(self):
+        assert shape_elements((7,)) == 7
+
+    def test_bytes_float32(self):
+        assert shape_bytes((2, 2)) == 16
+
+    def test_conv_out_basic(self):
+        assert conv_out_hw(224, 3, 1, 1) == 224
+
+    def test_conv_out_stride(self):
+        assert conv_out_hw(224, 7, 2, 3) == 112
+
+    def test_conv_out_collapse_raises(self):
+        with pytest.raises(ShapeError):
+            conv_out_hw(2, 5, 1, 0)
+
+
+class TestInput:
+    def test_output_shape_ignores_arg(self):
+        layer = Input("input", shape=(3, 8, 8))
+        assert layer.output_shape(()) == (3, 8, 8)
+
+    def test_zero_flops(self):
+        assert Input("input", shape=(3, 8, 8)).flops(()) == 0
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D("c", out_channels=16, kernel=3, stride=1, padding=1)
+        assert conv.output_shape((3, 32, 32)) == (16, 32, 32)
+
+    def test_flops_formula(self):
+        conv = Conv2D("c", out_channels=16, kernel=3, padding=1)
+        # 2 * k*k*Cin*Cout*H*W
+        assert conv.flops((3, 32, 32)) == 2 * 9 * 3 * 16 * 32 * 32
+
+    def test_params_with_bias(self):
+        conv = Conv2D("c", out_channels=16, kernel=3)
+        assert conv.params_for((3, 32, 32)) == 9 * 3 * 16 + 16
+
+    def test_params_without_bias(self):
+        conv = Conv2D("c", out_channels=16, kernel=3, bias=False)
+        assert conv.params_for((3, 32, 32)) == 9 * 3 * 16
+
+    def test_rejects_flat_input(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=4).output_shape((10,))
+
+    def test_stride_downsamples(self):
+        conv = Conv2D("c", out_channels=8, kernel=3, stride=2, padding=1)
+        assert conv.output_shape((3, 32, 32)) == (8, 16, 16)
+
+
+class TestDepthwiseConv2D:
+    def test_preserves_channels(self):
+        dw = DepthwiseConv2D("d", kernel=3, stride=1, padding=1)
+        assert dw.output_shape((32, 16, 16)) == (32, 16, 16)
+
+    def test_flops_no_cross_channel(self):
+        dw = DepthwiseConv2D("d", kernel=3, padding=1)
+        assert dw.flops((32, 16, 16)) == 2 * 9 * 32 * 16 * 16
+
+    def test_params(self):
+        dw = DepthwiseConv2D("d", kernel=3)
+        assert dw.params_for((32, 16, 16)) == 9 * 32 + 32
+
+
+class TestPool:
+    def test_max_pool_shape(self):
+        assert Pool("p", kernel=2, stride=2).output_shape((8, 16, 16)) == (8, 8, 8)
+
+    def test_flops_proportional_to_window(self):
+        p = Pool("p", kernel=3, stride=1, padding=1)
+        assert p.flops((4, 8, 8)) == 9 * 4 * 8 * 8
+
+    def test_global_avg_pool(self):
+        assert GlobalAvgPool("g").output_shape((512, 7, 7)) == (512,)
+
+    def test_global_avg_pool_flops(self):
+        assert GlobalAvgPool("g").flops((512, 7, 7)) == 512 * 49
+
+
+class TestFlattenDense:
+    def test_flatten(self):
+        assert Flatten("f").output_shape((4, 3, 3)) == (36,)
+
+    def test_flatten_zero_cost(self):
+        assert Flatten("f").flops((4, 3, 3)) == 0
+
+    def test_dense_shape(self):
+        assert Dense("d", out_features=10).output_shape((36,)) == (10,)
+
+    def test_dense_flops(self):
+        assert Dense("d", out_features=10).flops((36,)) == 2 * 36 * 10
+
+    def test_dense_params(self):
+        assert Dense("d", out_features=10).params_for((36,)) == 36 * 10 + 10
+
+    def test_dense_rejects_chw(self):
+        with pytest.raises(ShapeError):
+            Dense("d", out_features=10).output_shape((4, 3, 3))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "layer,per_elem",
+        [
+            (Activation("a"), 1),
+            (BatchNorm("b"), 2),
+            (LocalResponseNorm("l"), 5),
+            (Softmax("s"), 5),
+            (Dropout("d"), 0),
+        ],
+    )
+    def test_flops_per_element(self, layer, per_elem):
+        assert layer.flops((4, 5, 5)) == per_elem * 100
+
+    @pytest.mark.parametrize(
+        "layer",
+        [Activation("a"), BatchNorm("b"), Dropout("d"), Softmax("s")],
+    )
+    def test_shape_preserving(self, layer):
+        assert layer.output_shape((4, 5, 5)) == (4, 5, 5)
+
+    def test_batchnorm_params(self):
+        assert BatchNorm("b").params_for((16, 8, 8)) == 32
+
+
+class TestMergeLayers:
+    def test_add_shape(self):
+        add = Add("a")
+        assert add.merge_output_shape([(8, 4, 4), (8, 4, 4)]) == (8, 4, 4)
+
+    def test_add_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            Add("a").merge_output_shape([(8, 4, 4), (4, 4, 4)])
+
+    def test_add_empty_raises(self):
+        with pytest.raises(ShapeError):
+            Add("a").merge_output_shape([])
+
+    def test_add_merge_flops(self):
+        assert Add("a").merge_flops([(8, 4, 4), (8, 4, 4)]) == 128
+
+    def test_add_is_merge(self):
+        assert Add("a").is_merge
+
+    def test_concat_channels(self):
+        c = Concat("c")
+        assert c.merge_output_shape([(8, 4, 4), (16, 4, 4)]) == (24, 4, 4)
+
+    def test_concat_spatial_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            Concat("c").merge_output_shape([(8, 4, 4), (8, 2, 2)])
+
+    def test_concat_rejects_flat(self):
+        with pytest.raises(ShapeError):
+            Concat("c").merge_output_shape([(8,), (8,)])
+
+    def test_concat_zero_flops(self):
+        assert Concat("c").merge_flops([(8, 4, 4), (8, 4, 4)]) == 0
+
+
+class TestLayerParamsHelper:
+    def test_uses_params_for_when_present(self):
+        conv = Conv2D("c", out_channels=4, kernel=1)
+        assert layer_params(conv, (3, 8, 8)) == 3 * 4 + 4
+
+    def test_defaults_to_zero(self):
+        assert layer_params(Activation("a"), (3, 8, 8)) == 0
+
+    def test_output_bytes(self):
+        conv = Conv2D("c", out_channels=2, kernel=1)
+        assert conv.output_bytes((3, 4, 4)) == 2 * 4 * 4 * 4

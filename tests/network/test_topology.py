@@ -1,0 +1,47 @@
+"""Star topology."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.link import Link
+from repro.network.topology import StarTopology
+from repro.units import mbps
+
+L = Link(mbps(10), rtt_s=1e-3)
+
+
+class TestStarTopology:
+    def test_uniform_builds_all_pairs(self):
+        t = StarTopology.uniform(["d0", "d1"], ["s0", "s1"], L)
+        assert len(t.links) == 4
+
+    def test_link_lookup(self):
+        t = StarTopology.uniform(["d0"], ["s0"], L)
+        assert t.link("d0", "s0") is L
+
+    def test_unknown_pair_raises(self):
+        t = StarTopology.uniform(["d0"], ["s0"], L)
+        with pytest.raises(ConfigError):
+            t.link("d0", "s1")
+
+    def test_missing_links_raise(self):
+        with pytest.raises(ConfigError):
+            StarTopology(["d0"], ["s0"], {})
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ConfigError):
+            StarTopology.uniform(["d0", "d0"], ["s0"], L)
+
+    def test_per_server_scale(self):
+        t = StarTopology.uniform(["d0"], ["s0", "s1"], L, per_server_scale={"s1": 2.0})
+        assert t.link("d0", "s1").bandwidth_bps == pytest.approx(2 * L.bandwidth_bps)
+
+    def test_with_link_replaces_one(self):
+        t = StarTopology.uniform(["d0"], ["s0", "s1"], L)
+        t2 = t.with_link("d0", "s0", L.scaled(0.1))
+        assert t2.link("d0", "s0").bandwidth_bps == pytest.approx(L.bandwidth_bps / 10)
+        assert t2.link("d0", "s1").bandwidth_bps == pytest.approx(L.bandwidth_bps)
+
+    def test_scale_all(self):
+        t = StarTopology.uniform(["d0"], ["s0"], L).scale_all(3.0)
+        assert t.link("d0", "s0").bandwidth_bps == pytest.approx(3 * L.bandwidth_bps)

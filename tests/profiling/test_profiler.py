@@ -1,0 +1,53 @@
+"""Profiler and profile tables."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling.profiler import profile_model
+from repro.profiling.tables import LayerProfile, ProfileTable
+
+
+class TestProfileModel:
+    def test_row_per_layer(self, tiny_model, pi4):
+        table = profile_model(tiny_model, pi4)
+        assert len(table.rows) == tiny_model.num_layers
+
+    def test_total_flops_match_model(self, tiny_model, pi4):
+        table = profile_model(tiny_model, pi4)
+        assert table.total_flops == tiny_model.total_flops
+
+    def test_faster_device_faster_profile(self, tiny_model, pi4, edge_gpu):
+        slow = profile_model(tiny_model, pi4)
+        fast = profile_model(tiny_model, edge_gpu)
+        assert fast.total_latency_s < slow.total_latency_s
+
+    def test_noise_perturbs_deterministically(self, tiny_model, pi4):
+        a = profile_model(tiny_model, pi4, noise=0.1, seed=1)
+        b = profile_model(tiny_model, pi4, noise=0.1, seed=1)
+        c = profile_model(tiny_model, pi4, noise=0.1, seed=2)
+        assert a.latencies().tolist() == b.latencies().tolist()
+        assert a.latencies().tolist() != c.latencies().tolist()
+
+    def test_noiseless_is_exact(self, tiny_model, pi4, latency_model):
+        table = profile_model(tiny_model, pi4)
+        conv = next(r for r in table.rows if r.layer_name == "conv1")
+        expected = tiny_model.flops_of("conv1") / pi4.effective_flops("conv")
+        assert conv.latency_s == pytest.approx(expected)
+
+    def test_by_class_sums_to_total(self, tiny_model, pi4):
+        table = profile_model(tiny_model, pi4)
+        assert sum(table.by_class().values()) == pytest.approx(table.total_latency_s)
+
+    def test_summary_lists_top_layers(self, tiny_model, pi4):
+        s = profile_model(tiny_model, pi4).summary(top=3)
+        assert "conv" in s
+
+
+class TestTableValidation:
+    def test_empty_table_raises(self):
+        with pytest.raises(ProfileError):
+            ProfileTable("m", "d", [])
+
+    def test_negative_entry_raises(self):
+        with pytest.raises(ProfileError):
+            LayerProfile("l", "Conv2D", "conv", flops=-1, output_bytes=0, latency_s=0.0)

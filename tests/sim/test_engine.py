@@ -1,0 +1,89 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(0.5, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestRun:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        t = sim.run(until=2.0)
+        assert t == 2.0 and not fired
+        sim.run()
+        assert fired == [1]
+
+    def test_until_advances_clock_when_empty(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+        assert sim.pending == 0
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.1, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(until=1e9, max_events=100)

@@ -1,0 +1,107 @@
+"""Per-request plan realization."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import SurgeryPlan
+from repro.core.surgery import evaluate_plan
+from repro.sim.execution import realize_request, sample_exit
+
+RNG = np.random.default_rng(0)
+
+
+def plan_with_exits(model, cut=None):
+    n = len(model.backbone.cut_points)
+    return SurgeryPlan(
+        kept_exits=(1, model.num_exits - 1),
+        thresholds=(0.7, 0.0),
+        partition_cut=n - 1 if cut is None else cut,
+    )
+
+
+class TestSampleExit:
+    def test_easy_input_exits_early(self, me_resnet18):
+        plan = plan_with_exits(me_resnet18)
+        assert sample_exit(me_resnet18, plan, 0.0) == 0
+
+    def test_hard_input_reaches_final(self, me_resnet18):
+        plan = plan_with_exits(me_resnet18)
+        assert sample_exit(me_resnet18, plan, 1.0) == len(plan.kept_exits) - 1
+
+    def test_exit_monotone_in_difficulty(self, me_resnet18):
+        plan = SurgeryPlan(
+            kept_exits=(0, 1, 2, 3, 4),
+            thresholds=(0.7, 0.7, 0.7, 0.7, 0.0),
+            partition_cut=len(me_resnet18.backbone.cut_points) - 1,
+        )
+        exits = [sample_exit(me_resnet18, plan, d) for d in np.linspace(0, 1, 21)]
+        assert exits == sorted(exits)
+
+
+class TestRealizeRequest:
+    def test_local_plan_never_offloads(self, me_resnet18):
+        plan = plan_with_exits(me_resnet18)  # cut at sink
+        for d in (0.1, 0.5, 0.9):
+            dem = realize_request(me_resnet18, plan, d, RNG)
+            assert not dem.offloaded
+            assert dem.srv_flops == 0 and dem.up_bytes == 0
+
+    def test_full_offload_ships_input(self, me_resnet18):
+        plan = SurgeryPlan(
+            kept_exits=(me_resnet18.num_exits - 1,), thresholds=(0.0,), partition_cut=0
+        )
+        dem = realize_request(me_resnet18, plan, 0.5, RNG)
+        assert dem.offloaded
+        assert dem.up_bytes == me_resnet18.input_bytes
+        assert dem.down_bytes == me_resnet18.result_bytes
+        assert dem.dev_flops == 0
+
+    def test_exit_before_cut_stays_local(self, me_resnet18):
+        # cut after exit 1's attach point: easy inputs exit locally
+        attach = int(me_resnet18.exit_cut_indices[1])
+        plan = SurgeryPlan(
+            kept_exits=(1, me_resnet18.num_exits - 1),
+            thresholds=(0.7, 0.0),
+            partition_cut=attach,
+        )
+        easy = realize_request(me_resnet18, plan, 0.0, RNG)
+        hard = realize_request(me_resnet18, plan, 1.0, RNG)
+        assert not easy.offloaded
+        assert hard.offloaded
+
+    def test_expectation_matches_features(self, me_resnet18):
+        """Averaging realized demands over sampled difficulties reproduces the
+        plan's analytic PlanFeatures — the sim and optimizer agree on what a
+        plan costs."""
+        n = len(me_resnet18.backbone.cut_points)
+        plan = SurgeryPlan(
+            kept_exits=(1, 3, 4), thresholds=(0.8, 0.8, 0.0), partition_cut=n // 3
+        )
+        feats = evaluate_plan(me_resnet18, plan)
+        rng = np.random.default_rng(42)
+        ds = me_resnet18.difficulty.sample(rng, 20000)
+        dev, srv, up, off = 0.0, 0.0, 0.0, 0
+        for d in ds:
+            dem = realize_request(me_resnet18, plan, float(d), rng)
+            dev += dem.dev_flops
+            srv += dem.srv_flops
+            up += dem.up_bytes + dem.down_bytes
+            off += dem.offloaded
+        m = len(ds)
+        assert dev / m == pytest.approx(feats.dev_flops, rel=0.03)
+        assert srv / m == pytest.approx(feats.srv_flops, rel=0.05)
+        assert up / m == pytest.approx(feats.wire_bytes, rel=0.05)
+        assert off / m == pytest.approx(feats.p_offload, abs=0.02)
+
+    def test_correctness_rate_matches_accuracy(self, me_resnet18):
+        n = len(me_resnet18.backbone.cut_points)
+        plan = SurgeryPlan(
+            kept_exits=(1, 4), thresholds=(0.8, 0.0), partition_cut=n - 1
+        )
+        feats = evaluate_plan(me_resnet18, plan)
+        rng = np.random.default_rng(7)
+        ds = me_resnet18.difficulty.sample(rng, 20000)
+        correct = sum(
+            realize_request(me_resnet18, plan, float(d), rng).correct for d in ds
+        )
+        assert correct / len(ds) == pytest.approx(feats.accuracy, abs=0.02)

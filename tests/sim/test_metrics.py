@@ -1,0 +1,98 @@
+"""Metrics collection and reports."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.entities import RequestRecord
+from repro.sim.metrics import MetricsCollector, SimulationReport
+
+
+def rec(task="t0", rid=0, arrival=1.0, completion=1.1, deadline=1.2, correct=True):
+    return RequestRecord(
+        task_name=task,
+        req_id=rid,
+        arrival_s=arrival,
+        completion_s=completion,
+        deadline_s=deadline,
+        exit_position=1,
+        offloaded=True,
+        correct=correct,
+        dev_busy_s=0.02,
+        srv_busy_s=0.03,
+        net_busy_s=0.01,
+    )
+
+
+class TestRequestRecord:
+    def test_latency(self):
+        assert rec().latency_s == pytest.approx(0.1)
+
+    def test_deadline_check(self):
+        assert rec(completion=1.15).met_deadline
+        assert not rec(completion=1.25).met_deadline
+
+    def test_queueing_time(self):
+        r = rec()
+        assert r.queueing_s == pytest.approx(0.1 - 0.06)
+
+    def test_queueing_clamped_nonnegative(self):
+        r = rec(completion=1.01)
+        assert r.queueing_s == 0.0
+
+
+class TestCollector:
+    def test_warmup_discard(self):
+        c = MetricsCollector(warmup_s=2.0)
+        c.record(rec(arrival=1.0, completion=1.1))
+        c.record(rec(arrival=3.0, completion=3.1))
+        assert len(c.records) == 1
+        assert c.discarded == 1
+
+    def test_time_travel_rejected(self):
+        c = MetricsCollector()
+        with pytest.raises(SimulationError):
+            c.record(rec(arrival=2.0, completion=1.0))
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector(warmup_s=-1.0)
+
+
+class TestReport:
+    def make_report(self):
+        records = [
+            rec(rid=0, arrival=1.0, completion=1.1, correct=True),
+            rec(rid=1, arrival=2.0, completion=2.3, correct=False),
+            rec(task="t1", rid=0, arrival=1.0, completion=1.05, correct=True),
+        ]
+        return SimulationReport.from_records(records, horizon_s=10.0, utilizations={})
+
+    def test_per_task_counts(self):
+        r = self.make_report()
+        assert r.per_task["t0"].count == 2
+        assert r.per_task["t1"].count == 1
+
+    def test_aggregate_mean(self):
+        r = self.make_report()
+        assert r.mean_latency_s == pytest.approx((0.1 + 0.3 + 0.05) / 3)
+
+    def test_miss_rate(self):
+        r = self.make_report()
+        # t0#1 completes 0.1s after its deadline (2.0+0.2)
+        assert r.miss_rate == pytest.approx(1 / 3)
+
+    def test_accuracy(self):
+        r = self.make_report()
+        assert r.accuracy == pytest.approx(2 / 3)
+
+    def test_percentiles_ordered(self):
+        r = self.make_report()
+        assert (
+            r.percentile_latency_s(50)
+            <= r.percentile_latency_s(95)
+            <= r.percentile_latency_s(99)
+        )
+
+    def test_summary_renders(self):
+        s = self.make_report().summary()
+        assert "t0" in s and "t1" in s and "miss" in s

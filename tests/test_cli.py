@@ -1,0 +1,59 @@
+"""CLI commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+
+class TestCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "GFLOPs" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "alexnet", "raspberry_pi4", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "ms total" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--tasks", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "objective" in out and "t0" in out
+
+    def test_solve_writes_plan(self, capsys, tmp_path):
+        path = str(tmp_path / "plan.json")
+        assert main(["solve", "--tasks", "2", "--output", path]) == 0
+        from repro.io import load_joint_plan
+
+        plan = load_joint_plan(path)
+        assert "t0" in plan.latencies
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--tasks", "2", "--horizon", "5", "--scenario", "mobile_ar"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "convergence" in out
+
+    def test_deadline_objective_flag(self, capsys):
+        assert main(["solve", "--tasks", "2", "--objective", "deadline_miss"]) == 0

@@ -1,0 +1,83 @@
+"""JSON serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.joint import JointOptimizer
+from repro.core.plan import SurgeryPlan
+from repro.errors import ConfigError
+from repro.io import (
+    experiment_result_to_dict,
+    joint_plan_from_dict,
+    joint_plan_to_dict,
+    load_joint_plan,
+    save_joint_plan,
+    surgery_plan_from_dict,
+    surgery_plan_to_dict,
+)
+
+
+class TestSurgeryPlanRoundTrip:
+    def test_roundtrip(self):
+        p = SurgeryPlan(
+            kept_exits=(1, 4), thresholds=(0.8, 0.0), partition_cut=3, quantization="int8"
+        )
+        assert surgery_plan_from_dict(surgery_plan_to_dict(p)) == p
+
+    def test_default_quantization(self):
+        d = {"kept_exits": [4], "thresholds": [0.0], "partition_cut": 0}
+        assert surgery_plan_from_dict(d).quantization == "fp32"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ConfigError):
+            surgery_plan_from_dict({"kept_exits": [4]})
+
+    def test_invalid_plan_rejected_on_load(self):
+        d = {"kept_exits": [4, 1], "thresholds": [0.5, 0.0], "partition_cut": 0}
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            surgery_plan_from_dict(d)
+
+
+class TestJointPlanRoundTrip:
+    @pytest.fixture(scope="class")
+    def plan(self, small_cluster, small_tasks, small_candidates):
+        return JointOptimizer(small_cluster).solve(
+            small_tasks, candidates=small_candidates, seed=0
+        ).plan
+
+    def test_dict_roundtrip(self, plan):
+        restored = joint_plan_from_dict(joint_plan_to_dict(plan))
+        assert restored.objective_value == plan.objective_value
+        assert restored.assignment == plan.assignment
+        assert restored.latencies == plan.latencies
+        for name in plan.features:
+            assert restored.features[name].plan == plan.features[name].plan
+            assert restored.features[name].dev_flops == plan.features[name].dev_flops
+
+    def test_file_roundtrip(self, plan, tmp_path):
+        path = str(tmp_path / "plan.json")
+        save_joint_plan(plan, path)
+        restored = load_joint_plan(path)
+        assert restored.objective_value == plan.objective_value
+        # the file is real, valid JSON
+        with open(path) as fh:
+            raw = json.load(fh)
+        assert "tasks" in raw
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ConfigError):
+            joint_plan_from_dict({"objective_value": 1.0})
+
+
+class TestExperimentResultExport:
+    def test_serializable(self):
+        from repro.experiments import run_experiment
+
+        r = run_experiment("E1", models=("alexnet",), devices=("edge_gpu",))
+        d = experiment_result_to_dict(r)
+        json.dumps(d, default=str)  # must not raise
+        assert d["exp_id"] == "E1"
+        assert len(d["rows"]) == 1

@@ -1,0 +1,25 @@
+"""Difficulty presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.difficulty import DIFFICULTY_PRESETS, difficulty_preset
+
+
+class TestPresets:
+    def test_three_regimes(self):
+        assert set(DIFFICULTY_PRESETS) == {"easy", "mixed", "hard"}
+
+    def test_lookup(self):
+        assert difficulty_preset("easy").alpha == 1.5
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            difficulty_preset("impossible")
+
+    def test_regimes_ordered_by_mean_difficulty(self):
+        means = {}
+        for name, d in DIFFICULTY_PRESETS.items():
+            g, w = d.grid()
+            means[name] = float(g @ w)
+        assert means["easy"] < means["mixed"] < means["hard"]

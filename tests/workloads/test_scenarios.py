@@ -1,0 +1,72 @@
+"""Named scenarios and the scenario factory."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.scenarios import SCENARIOS, build_scenario, multiexit_model
+
+
+class TestScenarioCatalog:
+    def test_three_named_scenarios(self):
+        assert {"smart_city", "industrial", "mobile_ar"} <= set(SCENARIOS)
+
+    def test_templates_reference_known_models(self):
+        from repro.models import zoo
+
+        known = set(zoo.available_models())
+        for sc in SCENARIOS.values():
+            for model_name, *_ in sc.task_templates:
+                assert model_name in known
+
+
+class TestBuildScenario:
+    def test_by_name(self):
+        cluster, tasks = build_scenario("smart_city", num_tasks=4, seed=0)
+        assert len(tasks) == 4
+        assert cluster.num_devices == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            build_scenario("atlantis")
+
+    def test_task_template_cycling(self):
+        _, tasks = build_scenario("smart_city", num_tasks=5, seed=0)
+        # templates repeat every 3 tasks
+        assert tasks[0].model.name == tasks[3].model.name
+
+    def test_num_servers_override(self):
+        cluster, _ = build_scenario("smart_city", num_tasks=2, num_servers=5, seed=0)
+        assert cluster.num_servers == 5
+
+    def test_access_override(self):
+        from repro.units import mbps
+
+        cluster, tasks = build_scenario("smart_city", num_tasks=2, access_mbps=7.0, seed=0)
+        link = cluster.link(tasks[0].device_name, cluster.servers[0].name)
+        assert link.bandwidth_bps == pytest.approx(mbps(7.0))
+
+    def test_each_task_own_device(self):
+        cluster, tasks = build_scenario("industrial", num_tasks=6, seed=0)
+        assert len({t.device_name for t in tasks}) == 6
+
+    def test_invalid_num_tasks(self):
+        with pytest.raises(ConfigError):
+            build_scenario("smart_city", num_tasks=0)
+
+    def test_deterministic(self):
+        c1, t1 = build_scenario("mobile_ar", num_tasks=3, num_servers=2, seed=11)
+        c2, t2 = build_scenario("mobile_ar", num_tasks=3, num_servers=2, seed=11)
+        assert [s.peak_flops for s in c1.servers] == [s.peak_flops for s in c2.servers]
+        assert [t.deadline_s for t in t1] == [t.deadline_s for t in t2]
+
+
+class TestModelCache:
+    def test_cache_returns_same_object(self):
+        a = multiexit_model("alexnet", 3, "easy")
+        b = multiexit_model("alexnet", 3, "easy")
+        assert a is b
+
+    def test_cache_keys_distinguish(self):
+        a = multiexit_model("alexnet", 3, "easy")
+        b = multiexit_model("alexnet", 3, "hard")
+        assert a is not b

@@ -1,0 +1,92 @@
+"""Diurnal patterns and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.traces import (
+    DiurnalPattern,
+    load_trace,
+    save_trace,
+    windowed_rates,
+)
+
+
+class TestDiurnalPattern:
+    def test_rate_oscillates_around_base(self):
+        p = DiurnalPattern(base_rate=10.0, amplitude=0.5, period_s=100.0)
+        t = np.linspace(0, 100, 1000)
+        r = p.rate(t)
+        assert r.max() == pytest.approx(15.0, rel=0.01)
+        assert r.min() == pytest.approx(5.0, rel=0.01)
+
+    def test_floor_clips(self):
+        p = DiurnalPattern(base_rate=10.0, amplitude=0.99, floor_fraction=0.2)
+        t = np.linspace(0, p.period_s, 1000)
+        assert p.rate(t).min() >= 2.0 - 1e-9
+
+    def test_generate_mean_rate(self):
+        p = DiurnalPattern(base_rate=20.0, amplitude=0.6, period_s=50.0)
+        arr = p.generate(500.0, seed=1)
+        # full periods: time-average rate equals base
+        assert len(arr) / 500.0 == pytest.approx(20.0, rel=0.1)
+
+    def test_generate_sorted_in_horizon(self):
+        p = DiurnalPattern(base_rate=5.0)
+        arr = p.generate(100.0, seed=2)
+        assert np.all(np.diff(arr) >= 0)
+        assert arr.max() < 100.0
+
+    def test_burstiness_visible_in_windows(self):
+        p = DiurnalPattern(base_rate=20.0, amplitude=0.8, period_s=100.0)
+        arr = p.generate(100.0, seed=3)
+        _, rates = windowed_rates(arr, 100.0, 10.0)
+        assert rates.max() > 2 * rates.min()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_rate=0.0),
+            dict(base_rate=1.0, amplitude=1.0),
+            dict(base_rate=1.0, period_s=0.0),
+            dict(base_rate=1.0, floor_fraction=0.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            DiurnalPattern(**kwargs)
+
+
+class TestWindowedRates:
+    def test_counts(self):
+        starts, rates = windowed_rates(np.array([0.5, 1.5, 1.6]), 2.0, 1.0)
+        np.testing.assert_allclose(starts, [0.0, 1.0])
+        np.testing.assert_allclose(rates, [1.0, 2.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            windowed_rates(np.array([5.0]), 2.0, 1.0)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        arr = np.array([0.1, 0.5, 2.75])
+        save_trace(arr, path)
+        np.testing.assert_allclose(load_trace(path), arr)
+
+    def test_comments_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        path_obj = tmp_path / "trace.csv"
+        path_obj.write_text("# header\n1.0\n\n2.0\n")
+        np.testing.assert_allclose(load_trace(path), [1.0, 2.0])
+
+    def test_unsorted_save_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            save_trace([2.0, 1.0], str(tmp_path / "x.csv"))
+
+    def test_unsorted_load_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("2.0\n1.0\n")
+        with pytest.raises(ConfigError):
+            load_trace(str(p))
