@@ -9,3 +9,12 @@ def test_e09_scalability(benchmark):
     solve = r.extras["solve_s"]
     # the largest instance still solves fast enough for runtime re-planning
     assert max(solve.values()) < 30.0
+    # per-size work counters ride along in --benchmark-json output so the
+    # perf gate can compare work done, not just wall time
+    benchmark.extra_info["solve_s"] = {
+        f"{n}x{m}": t for (n, m), t in solve.items()
+    }
+    benchmark.extra_info["perf"] = r.extras["perf"]
+    for counters in r.extras["perf"].values():
+        assert counters["allocate_calls"] > 0
+        assert counters["latency_evals"] > 0

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Perf smoke gate for the joint solver (E9 scalability sweep).
+
+Runs the E9 experiment and compares the largest instance against a
+checked-in baseline:
+
+- ``solve_s`` may not regress beyond ``--factor`` (default 1.5×) — a coarse
+  wall-clock guard, deliberately loose to tolerate machine variance;
+- the deterministic work counters (``allocate_calls``, ``latency_evals``,
+  ``allocate_group_solves``) may not grow beyond the same factor — these are
+  machine-independent, so they catch "same wall time, twice the work"
+  regressions that a timing gate on a faster machine would miss.
+
+Usage:
+
+    PYTHONPATH=src python scripts/perf_gate.py             # check
+    PYTHONPATH=src python scripts/perf_gate.py --update    # rewrite baseline
+
+Exit code 0 = within budget, 1 = regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import e09_scalability
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "e09_solver_baseline.json"
+)
+
+#: Deterministic counters gated alongside wall time.
+GATED_COUNTERS = ("allocate_calls", "allocate_group_solves", "latency_evals")
+
+
+def measure(rounds: int = 3) -> dict:
+    """E9 runs reduced to the gate's JSON-safe shape.
+
+    Wall time is the best of ``rounds`` runs: the largest instance solves in
+    ~0.1 s, where scheduler noise and cold per-process memo caches on the
+    first run dwarf any real regression.  The work counters are deterministic,
+    so they come from the last run.
+    """
+    best_solve = float("inf")
+    for _ in range(rounds):
+        result = e09_scalability.run()
+        sizes = sorted(result.extras["solve_s"], key=lambda nm: nm[0] * nm[1])
+        largest = sizes[-1]
+        best_solve = min(best_solve, result.extras["solve_s"][largest])
+    key = f"{largest[0]}x{largest[1]}"
+    perf = result.extras["perf"][key]
+    return {
+        "experiment": "E9",
+        "largest_instance": key,
+        "solve_s": best_solve,
+        "counters": {name: perf[name] for name in GATED_COUNTERS},
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument(
+        "--factor",
+        type=float,
+        default=1.5,
+        help="max allowed ratio vs. baseline (wall time and counters)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking",
+    )
+    args = ap.parse_args(argv)
+
+    current = measure()
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        print(json.dumps(current, indent=2))
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update first", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("largest_instance") != current["largest_instance"]:
+        print(
+            f"baseline instance {baseline.get('largest_instance')} != "
+            f"current {current['largest_instance']}; refresh with --update",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    ratio = current["solve_s"] / max(baseline["solve_s"], 1e-9)
+    status = "OK" if ratio <= args.factor else "FAIL"
+    print(
+        f"{status} solve_s {current['solve_s']:.3f}s vs baseline "
+        f"{baseline['solve_s']:.3f}s ({ratio:.2f}x, budget {args.factor:.2f}x)"
+    )
+    if ratio > args.factor:
+        failures.append("solve_s")
+    for name in GATED_COUNTERS:
+        base = baseline["counters"].get(name)
+        cur = current["counters"][name]
+        if not base:
+            continue
+        ratio = cur / base
+        status = "OK" if ratio <= args.factor else "FAIL"
+        print(
+            f"{status} {name} {cur} vs baseline {base} "
+            f"({ratio:.2f}x, budget {args.factor:.2f}x)"
+        )
+        if ratio > args.factor:
+            failures.append(name)
+    if failures:
+        print(f"perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,15 @@
 Used to regenerate the measured sections of EXPERIMENTS.md:
 
     python scripts/run_all_experiments.py > /tmp/experiments_raw.txt
+
+``--jobs N`` fans the experiments out over N worker processes
+(``concurrent.futures``); results are printed in experiment order either
+way, so the output is byte-identical to a serial run apart from timings.
 """
 
+import argparse
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import EXPERIMENTS, run_experiment
 
@@ -24,13 +30,35 @@ KNOBS = {
 }
 
 
+def _run_one(eid: str) -> tuple:
+    """Worker entry point (module-level so it pickles for process pools)."""
+    t0 = time.time()
+    result = run_experiment(eid, **KNOBS.get(eid, {}))
+    took = time.time() - t0
+    return eid, took, result.format()
+
+
 def main() -> None:
-    for eid in sorted(EXPERIMENTS, key=lambda e: (e[0], int(e[1:]))):
-        t0 = time.time()
-        result = run_experiment(eid, **KNOBS.get(eid, {}))
-        took = time.time() - t0
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiment fan-out (default: serial)",
+    )
+    args = ap.parse_args()
+    if args.jobs < 1:
+        ap.error("--jobs must be >= 1")
+    order = sorted(EXPERIMENTS, key=lambda e: (e[0], int(e[1:])))
+    if args.jobs == 1:
+        outputs = map(_run_one, order)
+    else:
+        # processes, not threads: the experiments are CPU-bound Python
+        pool = ProcessPoolExecutor(max_workers=args.jobs)
+        outputs = pool.map(_run_one, order)
+    for eid, took, table in outputs:
         print(f"\n<<<{eid} ({took:.1f}s)>>>")
-        print(result.format())
+        print(table)
 
 
 if __name__ == "__main__":

@@ -15,12 +15,26 @@ work each plan ships to the edge — so the solver alternates:
 Each accepted step weakly decreases the objective over a finite solution
 space, so the iteration reaches a fixed point; ``tol`` stops it early when
 relative improvement stalls.  ``restarts`` runs the whole descent from
-perturbed initial assignments and returns the best fixed point found.
+perturbed initial assignments — each from its own deterministically spawned
+random stream, optionally in parallel (``restart_workers``) — and returns
+the best fixed point found.
+
+**Hot path.**  The share problem decomposes per server / per access link, so
+trial moves in the local search re-solve only the (at most two) groups a task
+moves between (:class:`~repro.core.allocation.IncrementalAllocator`), and
+trial objectives re-evaluate only the tasks in those groups.  Candidate sets
+come from a process-wide memoized pipeline (see
+:func:`repro.core.candidates.build_candidates`).  Both optimizations are
+bit-exact: a solve produces the same plan, shares, and objective as the
+non-incremental code path.  :class:`~repro.profiling.counters.PerfCounters`
+threaded through :class:`JointResult` counts the work actually done.
 """
 
 from __future__ import annotations
 
 import math
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,17 +42,24 @@ import numpy as np
 
 from repro.core.allocation import (
     Allocation,
+    IncrementalAllocator,
     allocate_shares,
     assign_servers,
     solution_latencies,
+    solution_latency_task,
 )
-from repro.core.candidates import CandidateSet, build_candidates
+from repro.core.candidates import (
+    CandidateSet,
+    build_candidates,
+    candidate_cache_stats,
+)
 from repro.core.objectives import Objective
 from repro.core.plan import JointPlan, TaskSpec
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
 from repro.errors import ConfigError, ConvergenceError
-from repro.rng import SeedLike, as_generator
+from repro.profiling.counters import PerfCounters
+from repro.rng import SeedLike, as_generator, spawn
 
 
 @dataclass(frozen=True)
@@ -51,9 +72,11 @@ class JointSolverConfig:
     local_search: bool = True  # per-task best-response reassignment sweeps
     refine_thresholds: bool = True  # per-exit threshold polish on the winner
     restarts: int = 1  # independent descents from perturbed starts
+    restart_workers: int = 1  # threads running restarts (1 = serial)
     include_queueing: bool = True
     threshold_grid: Optional[Tuple[float, ...]] = None
     max_cuts: Optional[int] = None
+    candidate_cache: bool = True  # reuse the memoized candidate pipeline
     strict_convergence: bool = False  # raise instead of warn on budget hit
 
     def __post_init__(self) -> None:
@@ -65,6 +88,8 @@ class JointSolverConfig:
             raise ConfigError("reassign_every must be >= 1")
         if self.restarts < 1:
             raise ConfigError("restarts must be >= 1")
+        if self.restart_workers < 1:
+            raise ConfigError("restart_workers must be >= 1")
 
 
 @dataclass
@@ -76,6 +101,33 @@ class JointResult:
     converged: bool
     history: List[float] = field(default_factory=list)  # objective per iteration
     candidate_counts: Dict[str, int] = field(default_factory=dict)
+    perf: PerfCounters = field(default_factory=PerfCounters)
+
+
+class _SolveContext:
+    """Per-solve hoisted lookups shared (read-only) by all restarts.
+
+    ``cluster.by_name`` / ``cluster.link`` resolve the same handful of objects
+    for every task on every iteration of every trial move; resolving them once
+    per solve removes dictionary traffic from the innermost loops.
+    """
+
+    def __init__(
+        self,
+        cluster: EdgeCluster,
+        latency_model: LatencyModel,
+        objective: Objective,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+    ) -> None:
+        self.devices = [cluster.by_name(t.device_name) for t in tasks]
+        self.links = [
+            [cluster.link(t.device_name, s.name) for s in cluster.servers]
+            for t in tasks
+        ]
+        self.allocator = IncrementalAllocator(
+            tasks, candsets, cluster, latency_model, objective
+        )
 
 
 class JointOptimizer:
@@ -107,6 +159,7 @@ class JointOptimizer:
         passed to amortize enumeration across repeated solves — e.g. the
         dynamic-bandwidth experiment re-solves every trace change-point.
         """
+        t_start = time.perf_counter()
         if not tasks:
             raise ConfigError("no tasks to optimize")
         names = [t.name for t in tasks]
@@ -115,27 +168,60 @@ class JointOptimizer:
         for t in tasks:
             self.cluster.by_name(t.device_name)  # validates membership
 
+        perf = PerfCounters()
         if candidates is None:
+            stats_before = candidate_cache_stats()
             candsets = [
                 build_candidates(
                     t,
                     threshold_grid=self.config.threshold_grid,
                     max_cuts=self.config.max_cuts,
+                    cache=self.config.candidate_cache,
                 )
                 for t in tasks
             ]
+            stats_after = candidate_cache_stats()
+            perf.candidate_cache_hits += stats_after.hits - stats_before.hits
+            perf.candidate_cache_misses += stats_after.misses - stats_before.misses
         else:
             if len(candidates) != len(tasks):
                 raise ConfigError("candidates/tasks length mismatch")
             candsets = list(candidates)
 
+        ctx = _SolveContext(
+            self.cluster, self.latency_model, self.objective, tasks, candsets
+        )
+
+        # one deterministic stream per restart: restart 0 reproduces the
+        # single-restart descent exactly, and the spawned streams make the
+        # result independent of whether restarts run serially or in parallel
         rng = as_generator(seed)
+        restarts = self.config.restarts
+        streams = [rng] if restarts == 1 else spawn(rng, restarts)
+        restart_counters = [PerfCounters() for _ in range(restarts)]
+
+        def _run(r: int) -> Tuple[float, List[int], Allocation, List[float], int, bool]:
+            return self._descend(
+                tasks, candsets, streams[r], perturb=(r > 0),
+                ctx=ctx, counters=restart_counters[r],
+            )
+
+        workers = min(self.config.restart_workers, restarts)
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outs = list(pool.map(_run, range(restarts)))
+        else:
+            outs = [_run(r) for r in range(restarts)]
+
         best: Optional[Tuple[float, List[int], Allocation, List[float], int, bool]] = None
-        for r in range(self.config.restarts):
-            out = self._descend(tasks, candsets, rng, perturb=(r > 0))
+        for out in outs:
             if best is None or out[0] < best[0]:
                 best = out
         assert best is not None
+        for rc in restart_counters:
+            perf.merge(rc)
+        perf.restarts += restarts
+
         obj, plan_idx, alloc, history, iters, converged = best
         if not converged and self.config.strict_convergence:
             raise ConvergenceError(
@@ -146,15 +232,17 @@ class JointOptimizer:
         counts = {t.name: len(c) for t, c in zip(tasks, candsets)}
         if self.config.refine_thresholds:
             candsets, plan_idx, alloc, obj = self._refine(
-                tasks, list(candsets), list(plan_idx), alloc, obj
+                tasks, list(candsets), list(plan_idx), alloc, obj, ctx, perf
             )
-        jp = self._package(tasks, candsets, plan_idx, alloc, obj)
+        jp = self._package(tasks, candsets, plan_idx, alloc, obj, perf)
+        perf.solve_s = time.perf_counter() - t_start
         return JointResult(
             plan=jp,
             iterations=iters,
             converged=converged,
             history=history,
             candidate_counts=counts,
+            perf=perf,
         )
 
     # -- internals -----------------------------------------------------------
@@ -165,9 +253,12 @@ class JointOptimizer:
         candsets: Sequence[CandidateSet],
         rng: np.random.Generator,
         perturb: bool,
+        ctx: _SolveContext,
+        counters: PerfCounters,
     ) -> Tuple[float, List[int], Allocation, List[float], int, bool]:
         cfg = self.config
         n = len(tasks)
+        inc = ctx.allocator
         assignment = assign_servers(tasks, candsets, self.cluster, self.latency_model)
         if perturb:
             # randomize a third of the assignments across servers/local
@@ -179,23 +270,21 @@ class JointOptimizer:
         plan_idx = [0] * n
         # bootstrap plans under optimistic full shares
         alloc = Allocation(list(assignment), np.ones(n), np.ones(n))
-        plan_idx = self._surgery_step(tasks, candsets, alloc)
-        alloc = allocate_shares(
-            tasks, candsets, plan_idx, assignment, self.cluster, self.latency_model, self.objective
-        )
-        obj = self._objective(tasks, candsets, plan_idx, alloc)
+        plan_idx = self._surgery_step(tasks, candsets, alloc, ctx, counters)
+        alloc = inc.solve(plan_idx, assignment, counters)
+        obj = self._objective(tasks, candsets, plan_idx, alloc, counters)
 
         history = [obj]
         converged = False
         iters = 0
         for it in range(1, cfg.max_iterations + 1):
             iters = it
-            # surgery step
-            new_idx = self._surgery_step(tasks, candsets, alloc)
-            new_alloc = allocate_shares(
-                tasks, candsets, new_idx, alloc.assignment, self.cluster, self.latency_model, self.objective
-            )
-            new_obj = self._objective(tasks, candsets, new_idx, new_alloc)
+            # surgery step; `alloc` is always solved for the current plan_idx,
+            # so the share re-solve only needs the groups of changed tasks
+            new_idx = self._surgery_step(tasks, candsets, alloc, ctx, counters)
+            changed = [i for i in range(n) if new_idx[i] != plan_idx[i]]
+            new_alloc = inc.update(alloc, new_idx, alloc.assignment, changed, counters)
+            new_obj = self._objective(tasks, candsets, new_idx, new_alloc, counters)
             if new_obj <= obj:
                 plan_idx, alloc, obj = new_idx, new_alloc, new_obj
 
@@ -204,15 +293,13 @@ class JointOptimizer:
                 cand_assignment = assign_servers(
                     tasks, candsets, self.cluster, self.latency_model
                 )
-                cand_alloc = allocate_shares(
-                    tasks, candsets, plan_idx, cand_assignment, self.cluster, self.latency_model, self.objective
-                )
-                cand_obj = self._objective(tasks, candsets, plan_idx, cand_alloc)
+                cand_alloc = inc.solve(plan_idx, cand_assignment, counters)
+                cand_obj = self._objective(tasks, candsets, plan_idx, cand_alloc, counters)
                 if cand_obj < obj:
                     alloc, obj = cand_alloc, cand_obj
                 if cfg.local_search:
                     plan_idx, alloc, obj = self._local_search(
-                        tasks, candsets, plan_idx, alloc, obj
+                        tasks, candsets, plan_idx, alloc, obj, ctx, counters
                     )
 
             history.append(obj)
@@ -227,7 +314,7 @@ class JointOptimizer:
                 # escaping the fixed point (unless it just ran this iteration)
                 if cfg.local_search and it % cfg.reassign_every != 0:
                     plan_idx, alloc, new_obj = self._local_search(
-                        tasks, candsets, plan_idx, alloc, obj
+                        tasks, candsets, plan_idx, alloc, obj, ctx, counters
                     )
                     if new_obj < obj - cfg.tol * max(abs(obj), 1e-12):
                         obj = new_obj
@@ -246,6 +333,8 @@ class JointOptimizer:
         plan_idx: List[int],
         alloc: Allocation,
         obj: float,
+        ctx: _SolveContext,
+        counters: PerfCounters,
     ) -> Tuple[List[CandidateSet], List[int], Allocation, float]:
         """Per-exit threshold polish of the winning solution.
 
@@ -264,14 +353,10 @@ class JointOptimizer:
             feats = cs.features[plan_idx[i]]
             if len(feats.plan.kept_exits) <= 1:
                 continue  # no early exits to tune
-            device = self.cluster.by_name(task.device_name)
+            device = ctx.devices[i]
             s = alloc.assignment[i]
             server = self.cluster.servers[s] if s is not None else None
-            link = (
-                self.cluster.link(task.device_name, server.name)
-                if server is not None
-                else None
-            )
+            link = ctx.links[i][s] if s is not None else None
             refined_plan, refined_feats = refine_thresholds(
                 task.model,
                 feats.plan,
@@ -289,11 +374,14 @@ class JointOptimizer:
                 touched = True
         if not touched:
             return candsets, plan_idx, alloc, obj
+        # refined candidate sets differ from the ones the incremental
+        # allocator was built over, so this one-off re-solve stays full
         new_alloc = allocate_shares(
             tasks, new_candsets, new_idx, alloc.assignment,
             self.cluster, self.latency_model, self.objective,
         )
-        new_obj = self._objective(tasks, new_candsets, new_idx, new_alloc)
+        counters.allocate_calls += 1
+        new_obj = self._objective(tasks, new_candsets, new_idx, new_alloc, counters)
         if new_obj < obj:
             return new_candsets, new_idx, new_alloc, new_obj
         return candsets, plan_idx, alloc, obj
@@ -305,39 +393,53 @@ class JointOptimizer:
         plan_idx: List[int],
         alloc: Allocation,
         obj: float,
+        ctx: _SolveContext,
+        counters: PerfCounters,
     ) -> Tuple[List[int], Allocation, float]:
         """One greedy sweep of single-task (server, plan) moves.
 
         For each task, try every alternative placement (each server and
         local) with the plan re-picked for that placement; accept the first
-        configuration that improves the *global* objective (shares re-solved
-        in closed form for each trial).  Escapes assignment local optima the
-        Hungarian step cannot see because it prices all tasks at once.
+        configuration that improves the *global* objective.  Escapes
+        assignment local optima the Hungarian step cannot see because it
+        prices all tasks at once.
+
+        A trial move touches at most the server/link groups the task leaves
+        and joins, so shares are re-solved incrementally and the trial
+        objective re-evaluates only the tasks in those groups — everything
+        else is carried over from the incumbent, bit-exact.
         """
+        cfg = self.config
         m = self.cluster.num_servers
+        inc = ctx.allocator
         assignment = list(alloc.assignment)
+        # incumbent per-task latencies, kept in sync with accepted moves
+        base_lat = solution_latencies(
+            tasks, candsets, plan_idx, alloc, self.cluster, self.latency_model,
+            include_queueing=cfg.include_queueing, overload="penalty",
+        )
+        counters.latency_evals += len(tasks)
         for i, task in enumerate(tasks):
-            device = self.cluster.by_name(task.device_name)
+            device = ctx.devices[i]
             current = assignment[i]
-            best = (obj, assignment[i], plan_idx[i], alloc)
+            best = (obj, assignment[i], plan_idx[i], alloc, base_lat)
+            rate = task.arrival_rate if cfg.include_queueing else None
             for option in [None] + list(range(m)):
                 if option == current:
                     continue
                 trial_assign = list(assignment)
                 trial_assign[i] = option
                 trial_idx = list(plan_idx)
-                rate = task.arrival_rate if self.config.include_queueing else None
+                # shares with task i moved (plan unchanged yet): only the two
+                # affected groups are re-solved
+                prov = inc.update(alloc, plan_idx, trial_assign, (i,), counters)
                 if option is None:
                     lat = candsets[i].latencies(
                         device, self.latency_model, arrival_rate=rate
                     )
                 else:
                     server = self.cluster.servers[option]
-                    link = self.cluster.link(task.device_name, server.name)
-                    prov = allocate_shares(
-                        tasks, candsets, trial_idx, trial_assign,
-                        self.cluster, self.latency_model, self.objective,
-                    )
+                    link = ctx.links[i][option]
                     lat = candsets[i].latencies(
                         device,
                         self.latency_model,
@@ -347,24 +449,43 @@ class JointOptimizer:
                         bandwidth_share=float(prov.bandwidth_shares[i]),
                         arrival_rate=rate,
                     )
+                counters.candidate_evals += 1
                 j = int(np.argmin(lat))
                 if not np.isfinite(lat[j]):
                     continue
                 trial_idx[i] = j
-                trial_alloc = allocate_shares(
-                    tasks, candsets, trial_idx, trial_assign,
-                    self.cluster, self.latency_model, self.objective,
-                )
-                trial_obj = self._objective(tasks, candsets, trial_idx, trial_alloc)
+                if j == plan_idx[i]:
+                    # the provisional solve already is the trial allocation
+                    trial_alloc = prov
+                else:
+                    trial_alloc = inc.update(prov, trial_idx, trial_assign, (i,), counters)
+                # only tasks sharing a touched group can change latency
+                affected = {
+                    t for t, a in enumerate(assignment)
+                    if a == current or a == option
+                }
+                affected.add(i)
+                trial_lat = base_lat.copy()
+                for t_i in affected:
+                    trial_lat[t_i] = solution_latency_task(
+                        tasks[t_i],
+                        candsets[t_i],
+                        trial_idx[t_i],
+                        trial_alloc.assignment[t_i],
+                        float(trial_alloc.compute_shares[t_i]),
+                        float(trial_alloc.bandwidth_shares[t_i]),
+                        self.cluster,
+                        self.latency_model,
+                        include_queueing=cfg.include_queueing,
+                        overload="penalty",
+                        device=ctx.devices[t_i],
+                    )
+                counters.latency_evals += len(affected)
+                trial_obj = self.objective.evaluate(trial_lat, tasks)
                 if trial_obj < best[0]:
-                    best = (trial_obj, option, j, trial_alloc)
+                    best = (trial_obj, option, j, trial_alloc, trial_lat)
             if best[0] < obj:
-                obj, assignment[i], plan_idx[i], alloc = (
-                    best[0],
-                    best[1],
-                    best[2],
-                    best[3],
-                )
+                obj, assignment[i], plan_idx[i], alloc, base_lat = best
         return plan_idx, alloc, obj
 
     def _surgery_step(
@@ -372,12 +493,14 @@ class JointOptimizer:
         tasks: Sequence[TaskSpec],
         candsets: Sequence[CandidateSet],
         alloc: Allocation,
+        ctx: _SolveContext,
+        counters: PerfCounters,
     ) -> List[int]:
         """Per task, pick the latency-minimal candidate under current shares."""
         rate = lambda t: (t.arrival_rate if self.config.include_queueing else None)
         out: List[int] = []
         for i, task in enumerate(tasks):
-            device = self.cluster.by_name(task.device_name)
+            device = ctx.devices[i]
             s = alloc.assignment[i]
             if s is None:
                 lat = candsets[i].latencies(
@@ -385,7 +508,7 @@ class JointOptimizer:
                 )
             else:
                 server = self.cluster.servers[s]
-                link = self.cluster.link(task.device_name, server.name)
+                link = ctx.links[i][s]
                 lat = candsets[i].latencies(
                     device,
                     self.latency_model,
@@ -395,6 +518,7 @@ class JointOptimizer:
                     bandwidth_share=float(alloc.bandwidth_shares[i]),
                     arrival_rate=rate(task),
                 )
+            counters.candidate_evals += 1
             out.append(int(np.argmin(lat)))
         return out
 
@@ -404,6 +528,7 @@ class JointOptimizer:
         candsets: Sequence[CandidateSet],
         plan_idx: Sequence[int],
         alloc: Allocation,
+        counters: Optional[PerfCounters] = None,
     ) -> float:
         # internal search objective: graded overload surrogate, so descent
         # keeps a gradient even when every reachable solution is overloaded
@@ -418,6 +543,8 @@ class JointOptimizer:
             include_queueing=self.config.include_queueing,
             overload="penalty",
         )
+        if counters is not None:
+            counters.latency_evals += len(tasks)
         return self.objective.evaluate(lat, tasks)
 
     def _package(
@@ -427,6 +554,7 @@ class JointOptimizer:
         plan_idx: Sequence[int],
         alloc: Allocation,
         obj: float,
+        counters: Optional[PerfCounters] = None,
     ) -> JointPlan:
         # report honest latencies/objective (inf for unstable tasks) — the
         # graded surrogate in `obj` was only for steering the search
@@ -439,6 +567,8 @@ class JointOptimizer:
             self.latency_model,
             include_queueing=self.config.include_queueing,
         )
+        if counters is not None:
+            counters.latency_evals += len(tasks)
         obj = self.objective.evaluate(lat, tasks)
         return JointPlan(
             assignment={t.name: alloc.assignment[i] for i, t in enumerate(tasks)},

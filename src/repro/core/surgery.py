@@ -13,7 +13,8 @@ vectorized pass, making full enumeration cheap enough to run per task.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,13 +36,37 @@ DEFAULT_THRESHOLD_GRID: Tuple[float, ...] = (0.5, 0.65, 0.8, 0.9, 0.95)
 DEFAULT_MAX_CUTS = 16
 
 
+#: Memo of exit-distribution quadratures, weakly keyed by model:
+#: {model: {(kept, thresholds): (p, acc)}}.  The quadrature is the single
+#: most expensive step of plan evaluation and depends only on (model, kept
+#: exits, thresholds) — enumeration and per-task threshold refinement
+#: re-request the same policies over and over, so amortizing it across tasks
+#: sharing a model template is a large win.  Cached arrays are read-only.
+_EXIT_DIST_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: Memo of full plan evaluations, weakly keyed by model:
+#: {model: {SurgeryPlan: PlanFeatures}}.  Features are frozen, so sharing
+#: one object across callers is safe.  Bounded in practice by the candidate
+#: enumeration space plus the refinement grid per model.
+_PLAN_FEATURES_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def _exit_distribution(
     model: MultiExitModel, kept: Sequence[int], thresholds: Sequence[float]
 ) -> Tuple[np.ndarray, np.ndarray]:
+    key = (tuple(int(k) for k in kept), tuple(float(t) for t in thresholds))
+    per_model = _EXIT_DIST_CACHE.get(model)
+    if per_model is None:
+        per_model = _EXIT_DIST_CACHE.setdefault(model, {})
+    cached = per_model.get(key)
+    if cached is not None:
+        return cached
     comp = model.competences[list(kept)]
-    return exit_probabilities(
-        comp, thresholds, model.difficulty, model.accuracy_model
-    )
+    p, acc = exit_probabilities(comp, thresholds, model.difficulty, model.accuracy_model)
+    p.setflags(write=False)
+    acc.setflags(write=False)
+    per_model[key] = (p, acc)
+    return p, acc
 
 
 def evaluate_plan(model: MultiExitModel, plan: SurgeryPlan) -> PlanFeatures:
@@ -52,7 +77,23 @@ def evaluate_plan(model: MultiExitModel, plan: SurgeryPlan) -> PlanFeatures:
     executes on the side its attach point lives on.  A sample that exits at
     kept position ``i`` has also evaluated (and not taken) all earlier kept
     exits, so their branch FLOPs are charged cumulatively.
+
+    Evaluations are memoized per (model, plan): features are allocation
+    independent and frozen, and threshold refinement re-evaluates the same
+    trial plans for every task sharing a model template.
     """
+    per_model = _PLAN_FEATURES_CACHE.get(model)
+    if per_model is None:
+        per_model = _PLAN_FEATURES_CACHE.setdefault(model, {})
+    cached = per_model.get(plan)
+    if cached is not None:
+        return cached
+    feats = _evaluate_plan_uncached(model, plan)
+    per_model[plan] = feats
+    return feats
+
+
+def _evaluate_plan_uncached(model: MultiExitModel, plan: SurgeryPlan) -> PlanFeatures:
     from repro.models.quantization import quantization_level
 
     plan.validate_against(model)
@@ -153,6 +194,43 @@ def plan_latency(
     return t
 
 
+def plan_latency_scalar(
+    dev_flops: float,
+    srv_flops: float,
+    wire_bytes: float,
+    p_offload: float,
+    device: DeviceSpec,
+    latency_model: LatencyModel,
+    server: Optional[DeviceSpec] = None,
+    link: Optional[Link] = None,
+    compute_share: float = 1.0,
+    bandwidth_share: float = 1.0,
+    server_wait_s: float = 0.0,
+) -> float:
+    """Scalar :func:`plan_latency` for a single plan (the refinement hot loop).
+
+    Mirrors the array path's expression tree on Python floats — bit-identical
+    results without the ndarray wrapping overhead.
+    """
+    r_dev = latency_model.throughput(device)
+    t = dev_flops / r_dev + device.overhead_s if dev_flops > 0 else 0.0
+    if p_offload > 0 or srv_flops > 0 or wire_bytes > 0:
+        if server is None or link is None:
+            raise PlanError("plans with offloaded work need a server and a link")
+        if not (0.0 < compute_share <= 1.0 + 1e-12):
+            raise PlanError(f"compute share must be in (0,1], got {compute_share}")
+        if not (0.0 < bandwidth_share <= 1.0 + 1e-12):
+            raise PlanError(f"bandwidth share must be in (0,1], got {bandwidth_share}")
+        r_srv = latency_model.throughput(server) * compute_share
+        bw = link.bandwidth_bps * bandwidth_share
+        t = t + (
+            srv_flops / r_srv
+            + p_offload * (link.rtt_s + server.overhead_s + server_wait_s)
+            + wire_bytes / bw
+        )
+    return float(t)
+
+
 #: Fine per-exit threshold grid used by :func:`refine_thresholds`.
 REFINE_GRID: Tuple[float, ...] = (
     0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.93, 0.95, 0.97,
@@ -193,7 +271,7 @@ def refine_thresholds(
         f = evaluate_plan(model, p)
         if f.accuracy < accuracy_floor - 1e-12:
             return np.inf, f
-        lat = plan_latency(
+        lat = plan_latency_scalar(
             f.dev_flops,
             f.srv_flops,
             f.wire_bytes,
@@ -205,7 +283,7 @@ def refine_thresholds(
             compute_share=compute_share,
             bandwidth_share=bandwidth_share,
         )
-        return float(lat), f
+        return lat, f
 
     best_plan = plan
     best_lat, best_feats = evaluate(plan)

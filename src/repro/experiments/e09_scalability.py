@@ -27,7 +27,7 @@ def run(
 ) -> ExperimentResult:
     """Sweep (tasks, servers); time candidate build and solve separately."""
     rows = []
-    extras = {"solve_s": {}, "build_s": {}}
+    extras = {"solve_s": {}, "build_s": {}, "perf": {}}
     for n_tasks, n_servers in sizes:
         cluster, tasks = build_scenario(
             scenario, num_tasks=n_tasks, num_servers=n_servers, server_spread=4.0, seed=seed
@@ -42,6 +42,9 @@ def run(
         t_solve = time.perf_counter() - t0
         extras["solve_s"][(n_tasks, n_servers)] = t_solve
         extras["build_s"][(n_tasks, n_servers)] = t_build
+        # JSON-safe key: perf counters feed the benchmark extra_info and the
+        # perf-gate baseline, both of which round-trip through JSON
+        extras["perf"][f"{n_tasks}x{n_servers}"] = res.perf.as_dict()
         rows.append(
             (
                 n_tasks,

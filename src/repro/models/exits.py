@@ -36,6 +36,9 @@ DIFFICULTY_GRID_POINTS = 512
 #: separates easy from hard inputs).  Held fixed library-wide.
 GATE_SHARPNESS = 8.0
 
+#: Quadrature grids per (alpha, beta, points); see DifficultyDistribution.grid.
+_GRID_CACHE: dict = {}
+
 
 @dataclass(frozen=True)
 class DifficultyDistribution:
@@ -53,7 +56,17 @@ class DifficultyDistribution:
             raise ConfigError(f"Beta parameters must be positive: {self}")
 
     def grid(self, n: int = DIFFICULTY_GRID_POINTS) -> Tuple[np.ndarray, np.ndarray]:
-        """Midpoint-rule quadrature nodes and normalized weights."""
+        """Midpoint-rule quadrature nodes and normalized weights.
+
+        Memoized per (alpha, beta, n): the Beta pdf evaluation dominates the
+        cost of every exit-rate integral, and the same distribution is queried
+        thousands of times during candidate enumeration and threshold
+        refinement.  The returned arrays are shared and marked read-only.
+        """
+        key = (self.alpha, self.beta, n)
+        cached = _GRID_CACHE.get(key)
+        if cached is not None:
+            return cached
         edges = np.linspace(0.0, 1.0, n + 1)
         mid = 0.5 * (edges[:-1] + edges[1:])
         from scipy import stats
@@ -62,7 +75,11 @@ class DifficultyDistribution:
         total = w.sum()
         if total <= 0:  # pragma: no cover - defensive
             raise ConfigError(f"degenerate difficulty distribution {self}")
-        return mid, w / total
+        w = w / total
+        mid.setflags(write=False)
+        w.setflags(write=False)
+        _GRID_CACHE[key] = (mid, w)
+        return mid, w
 
     def cdf(self, x: np.ndarray | float) -> np.ndarray:
         from scipy import stats

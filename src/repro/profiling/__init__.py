@@ -7,6 +7,7 @@ multiplicative measurement noise so regression-fitting code paths are
 exercised realistically.
 """
 
+from repro.profiling.counters import PerfCounters
 from repro.profiling.profiler import profile_model
 from repro.profiling.regression import LatencyRegression, fit_latency_regression
 from repro.profiling.tables import LayerProfile, ProfileTable
@@ -14,6 +15,7 @@ from repro.profiling.tables import LayerProfile, ProfileTable
 __all__ = [
     "LatencyRegression",
     "LayerProfile",
+    "PerfCounters",
     "ProfileTable",
     "fit_latency_regression",
     "profile_model",

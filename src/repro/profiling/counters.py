@@ -1,0 +1,62 @@
+"""Lightweight work counters for the solver hot path.
+
+Wall-clock alone cannot tell whether a speedup came from doing the same work
+faster or from doing *less* work (cache hits, incremental re-solves), and it
+is too noisy for CI gates.  :class:`PerfCounters` counts the units of work
+the joint optimizer performs — closed-form share solves, per-task latency
+evaluations, vectorized candidate sweeps, candidate-pipeline cache traffic —
+so benchmarks and tests can assert on work done, not just elapsed time.
+
+Counters are plain integers mutated single-threadedly within one solver
+descent; parallel restarts each get their own instance, merged afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Union
+
+
+@dataclass
+class PerfCounters:
+    """Work counters of one :meth:`JointOptimizer.solve` call.
+
+    Attributes
+    ----------
+    solve_s:
+        Wall-clock seconds of the whole solve (including refinement).
+    allocate_calls:
+        Share-allocation solves requested (full or incremental).
+    allocate_group_solves:
+        Per-server / per-link closed-form group solves actually performed;
+        with incremental updates this grows far slower than
+        ``allocate_calls × groups``.
+    latency_evals:
+        Per-task end-to-end latency evaluations (objective bookkeeping).
+    candidate_evals:
+        Vectorized candidate-set latency sweeps (surgery / local-search).
+    candidate_cache_hits / candidate_cache_misses:
+        Candidate-pipeline cache traffic attributable to this solve (only
+        populated when the solver builds its own candidate sets).
+    restarts:
+        Independent descents run (serially or in parallel).
+    """
+
+    solve_s: float = 0.0
+    allocate_calls: int = 0
+    allocate_group_solves: int = 0
+    latency_evals: int = 0
+    candidate_evals: int = 0
+    candidate_cache_hits: int = 0
+    candidate_cache_misses: int = 0
+    restarts: int = 0
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate ``other`` into ``self`` (returns self for chaining)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-friendly snapshot (benchmark ``extra_info`` payload)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
