@@ -9,12 +9,23 @@ checked-in baseline:
 - the deterministic work counters (``allocate_calls``, ``latency_evals``,
   ``allocate_group_solves``) may not grow beyond the same factor — these are
   machine-independent, so they catch "same wall time, twice the work"
-  regressions that a timing gate on a faster machine would miss.
+  regressions that a timing gate on a faster machine would miss.  The
+  counters are read from a :class:`~repro.telemetry.metrics.MetricsRegistry`
+  snapshot (``solver.*``) published by the solver's perf layer, so the gate
+  exercises the same path ``repro trace`` exports.
+
+``--check-overhead`` instead measures a tracing-**disabled** solve and
+asserts its wall time stays within ``--overhead`` (default 2%) of the
+baseline ``solve_s`` — guarding the telemetry instrumentation's disabled
+fast path against creeping cost.  Refresh the baseline on the measuring
+machine first (``--update``): a 2% band is only meaningful against numbers
+from the same hardware.
 
 Usage:
 
-    PYTHONPATH=src python scripts/perf_gate.py             # check
-    PYTHONPATH=src python scripts/perf_gate.py --update    # rewrite baseline
+    PYTHONPATH=src python scripts/perf_gate.py                   # check
+    PYTHONPATH=src python scripts/perf_gate.py --update          # rewrite baseline
+    PYTHONPATH=src python scripts/perf_gate.py --check-overhead  # telemetry overhead
 
 Exit code 0 = within budget, 1 = regression.
 """
@@ -27,6 +38,7 @@ import sys
 from pathlib import Path
 
 from repro.experiments import e09_scalability
+from repro.telemetry.metrics import MetricsRegistry
 
 DEFAULT_BASELINE = (
     Path(__file__).resolve().parent.parent
@@ -45,7 +57,8 @@ def measure(rounds: int = 3) -> dict:
     Wall time is the best of ``rounds`` runs: the largest instance solves in
     ~0.1 s, where scheduler noise and cold per-process memo caches on the
     first run dwarf any real regression.  The work counters are deterministic,
-    so they come from the last run.
+    so they come from the last run, routed through a metrics-registry
+    snapshot (the ``solver.*`` names ``repro trace`` exports).
     """
     best_solve = float("inf")
     for _ in range(rounds):
@@ -55,12 +68,50 @@ def measure(rounds: int = 3) -> dict:
         best_solve = min(best_solve, result.extras["solve_s"][largest])
     key = f"{largest[0]}x{largest[1]}"
     perf = result.extras["perf"][key]
+    registry = MetricsRegistry()
+    for name, value in perf.items():
+        if name != "solve_s":
+            registry.counter(f"solver.{name}").inc(int(value))
+    snapshot = registry.snapshot()
     return {
         "experiment": "E9",
         "largest_instance": key,
         "solve_s": best_solve,
-        "counters": {name: perf[name] for name in GATED_COUNTERS},
+        "counters": {
+            name: snapshot[f"solver.{name}"]["value"] for name in GATED_COUNTERS
+        },
+        "metrics": {name: m["value"] for name, m in sorted(snapshot.items())},
     }
+
+
+def check_overhead(baseline_path: Path, overhead: float) -> int:
+    """Assert a tracing-disabled solve stays within ``overhead`` of baseline."""
+    from repro.telemetry.trace import get_tracer
+
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path}; run with --update first",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    tracer = get_tracer()
+    if tracer.enabled:  # defensive: the gate must measure the disabled path
+        tracer.disable()
+    current = measure()
+    budget = baseline["solve_s"] * (1.0 + overhead)
+    ratio = current["solve_s"] / max(baseline["solve_s"], 1e-9)
+    status = "OK" if current["solve_s"] <= budget else "FAIL"
+    print(
+        f"{status} tracing-disabled solve_s {current['solve_s']:.4f}s vs "
+        f"baseline {baseline['solve_s']:.4f}s "
+        f"({ratio:.3f}x, budget {1.0 + overhead:.2f}x)"
+    )
+    if current["solve_s"] > budget:
+        print("telemetry overhead gate FAILED", file=sys.stderr)
+        return 1
+    print("telemetry overhead gate passed")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -77,7 +128,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline from this run instead of checking",
     )
+    ap.add_argument(
+        "--check-overhead",
+        action="store_true",
+        help="assert tracing-disabled solve time within --overhead of baseline",
+    )
+    ap.add_argument(
+        "--overhead",
+        type=float,
+        default=0.02,
+        help="allowed fractional overhead for --check-overhead (default 2%%)",
+    )
     args = ap.parse_args(argv)
+
+    if args.check_overhead:
+        return check_overhead(args.baseline, args.overhead)
 
     current = measure()
     if args.update:
@@ -112,6 +177,22 @@ def main(argv=None) -> int:
         base = baseline["counters"].get(name)
         cur = current["counters"][name]
         if not base:
+            continue
+        ratio = cur / base
+        status = "OK" if ratio <= args.factor else "FAIL"
+        print(
+            f"{status} {name} {cur} vs baseline {base} "
+            f"({ratio:.2f}x, budget {args.factor:.2f}x)"
+        )
+        if ratio > args.factor:
+            failures.append(name)
+    # full metrics-snapshot section: gate every baseline-known solver.* counter
+    # (older baselines without the section skip this block gracefully)
+    base_metrics = baseline.get("metrics", {})
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        cur = current["metrics"].get(name)
+        if not base or cur is None or name.removeprefix("solver.") in GATED_COUNTERS:
             continue
         ratio = cur / base
         status = "OK" if ratio <= args.factor else "FAIL"

@@ -8,11 +8,22 @@ Used to regenerate the measured sections of EXPERIMENTS.md:
 ``--jobs N`` fans the experiments out over N worker processes
 (``concurrent.futures``); results are printed in experiment order either
 way, so the output is byte-identical to a serial run apart from timings.
+A worker failure is reported with the failing experiment's ID and its full
+child-process traceback, and the run exits non-zero after printing every
+successful table.
+
+``--telemetry-dir DIR`` additionally runs each experiment with tracing
+enabled and writes ``DIR/<EID>.trace.json`` (Perfetto-loadable) and
+``DIR/<EID>.metrics.jsonl`` per experiment.
 """
 
 import argparse
+import functools
+import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, run_experiment
 
@@ -30,15 +41,44 @@ KNOBS = {
 }
 
 
-def _run_one(eid: str) -> tuple:
-    """Worker entry point (module-level so it pickles for process pools)."""
+def _run_one(eid: str, telemetry_dir: str = "") -> tuple:
+    """Worker entry point (module-level so it pickles for process pools).
+
+    Returns ``(eid, seconds, formatted_table_or_None, error_or_None)`` — the
+    error is the full traceback string so parent processes can report child
+    failures with the experiment that caused them.
+    """
     t0 = time.time()
-    result = run_experiment(eid, **KNOBS.get(eid, {}))
-    took = time.time() - t0
-    return eid, took, result.format()
+    try:
+        if telemetry_dir:
+            from repro.telemetry import (
+                MetricsRegistry,
+                export_perfetto,
+                get_tracer,
+            )
+
+            out = Path(telemetry_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            tracer = get_tracer().enable()
+            try:
+                result = run_experiment(eid, **KNOBS.get(eid, {}))
+            finally:
+                tracer.disable()
+            spans = tracer.drain()
+            export_perfetto(spans, str(out / f"{eid}.trace.json"))
+            registry = MetricsRegistry()
+            perf = getattr(result, "perf", None)
+            if perf is not None:
+                perf.publish(registry)
+            registry.export_jsonl(str(out / f"{eid}.metrics.jsonl"))
+        else:
+            result = run_experiment(eid, **KNOBS.get(eid, {}))
+    except Exception:
+        return eid, time.time() - t0, None, traceback.format_exc()
+    return eid, time.time() - t0, result.format(), None
 
 
-def main() -> None:
+def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--jobs",
@@ -46,20 +86,37 @@ def main() -> None:
         default=1,
         help="worker processes for experiment fan-out (default: serial)",
     )
+    ap.add_argument(
+        "--telemetry-dir",
+        default="",
+        help="write per-experiment trace.json + metrics.jsonl into this directory",
+    )
     args = ap.parse_args()
     if args.jobs < 1:
         ap.error("--jobs must be >= 1")
     order = sorted(EXPERIMENTS, key=lambda e: (e[0], int(e[1:])))
+    worker = functools.partial(_run_one, telemetry_dir=args.telemetry_dir)
     if args.jobs == 1:
-        outputs = map(_run_one, order)
+        outputs = map(worker, order)
     else:
         # processes, not threads: the experiments are CPU-bound Python
         pool = ProcessPoolExecutor(max_workers=args.jobs)
-        outputs = pool.map(_run_one, order)
-    for eid, took, table in outputs:
+        outputs = pool.map(worker, order)
+    failures = []
+    for eid, took, table, error in outputs:
+        if error is not None:
+            failures.append((eid, error))
+            continue
         print(f"\n<<<{eid} ({took:.1f}s)>>>")
         print(table)
+    for eid, error in failures:
+        print(f"\nexperiment {eid} FAILED:\n{error}", file=sys.stderr)
+    if failures:
+        ids = ", ".join(eid for eid, _ in failures)
+        print(f"{len(failures)} experiment(s) failed: {ids}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

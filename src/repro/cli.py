@@ -7,7 +7,10 @@ Commands:
 - ``solve`` — build a scenario, run the joint optimizer, print (and
   optionally save) the plan;
 - ``simulate`` — solve then replay under Poisson load in the simulator;
-- ``experiment ID`` — regenerate one table/figure (E1–E14).
+- ``experiment ID`` — regenerate one table/figure (E1–E14);
+- ``trace TARGET`` — run a scenario solve (or an experiment) with telemetry
+  enabled, write a Perfetto-loadable ``trace.json`` + ``metrics.jsonl``, and
+  print the solver phase breakdown.
 """
 
 from __future__ import annotations
@@ -100,6 +103,89 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry import (
+        MetricsRegistry,
+        TimelineRecorder,
+        export_jsonl,
+        export_perfetto,
+        get_tracer,
+        phase_breakdown,
+    )
+
+    if args.target not in EXPERIMENTS and args.target not in SCENARIOS:
+        raise ReproError(
+            f"unknown trace target {args.target!r}: expected an "
+            f"experiment ({', '.join(sorted(EXPERIMENTS))}) or a "
+            f"scenario ({', '.join(sorted(SCENARIOS))})"
+        )
+    os.makedirs(args.out, exist_ok=True)
+    registry = MetricsRegistry()
+    tracer = get_tracer().enable()
+    extra_events = []
+    try:
+        if args.target in EXPERIMENTS:
+            result = run_experiment(args.target)
+            print(result.format())
+        else:
+            cluster, tasks = build_scenario(
+                args.target,
+                num_tasks=args.tasks,
+                num_servers=args.servers,
+                seed=args.seed,
+            )
+            result = JointOptimizer(cluster).solve(tasks, seed=args.seed)
+            result.perf.publish(registry)
+            print(
+                f"solved {len(tasks)} tasks on {cluster.num_servers} servers: "
+                f"objective {result.plan.objective_value * 1e3:.2f} ms"
+            )
+            if args.simulate:
+                rec = TimelineRecorder(registry=registry)
+                report = simulate_plan(
+                    tasks,
+                    result.plan,
+                    cluster,
+                    SimulationConfig(
+                        horizon_s=args.horizon,
+                        warmup_s=min(args.horizon / 5, 5.0),
+                        seed=args.seed,
+                    ),
+                    recorder=rec,
+                )
+                print(report.summary())
+                extra_events = rec.timeline.perfetto_events()
+    finally:
+        tracer.disable()
+    spans = tracer.drain()
+
+    trace_path = os.path.join(args.out, "trace.json")
+    spans_path = os.path.join(args.out, "spans.jsonl")
+    metrics_path = os.path.join(args.out, "metrics.jsonl")
+    export_perfetto(spans, trace_path, extra_events=extra_events)
+    export_jsonl(spans, spans_path)
+    registry.export_jsonl(metrics_path)
+
+    rows = phase_breakdown(spans, root="solve")
+    if rows:
+        print()
+        print(
+            format_table(
+                ["phase", "count", "total_ms", "fraction"],
+                [(name, count, total * 1e3, frac) for name, count, total, frac in rows],
+                title="solve phase breakdown",
+                float_fmt="{:.3f}",
+            )
+        )
+    print()
+    print(f"trace:   {trace_path}  (open at https://ui.perfetto.dev)")
+    print(f"spans:   {spans_path}")
+    print(f"metrics: {metrics_path}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id)
     print(result.format())
@@ -154,6 +240,27 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             p.add_argument("--horizon", type=float, default=30.0, help="sim seconds")
             p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a scenario (or experiment) with telemetry; write trace + metrics",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        default="smart_city",
+        help="scenario name or experiment ID (default: smart_city)",
+    )
+    p.add_argument("--tasks", type=int, default=64)
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="traces", help="output directory")
+    p.add_argument(
+        "--simulate", action="store_true",
+        help="also replay the plan in the simulator with event timelines",
+    )
+    p.add_argument("--horizon", type=float, default=10.0, help="sim seconds")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("experiment", help="regenerate one experiment (E1-E14)")
     p.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:])))

@@ -47,6 +47,7 @@ from repro.core.queueing import mg1_wait
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
 from repro.errors import ConfigError, PlanError
+from repro.telemetry.trace import traced
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.profiling.counters import PerfCounters
@@ -112,6 +113,7 @@ def sqrt_shares(weights: np.ndarray) -> np.ndarray:
     return power_shares(weights, 0.5)
 
 
+@traced("alloc.full_solve")
 def allocate_shares(
     tasks: Sequence[TaskSpec],
     candsets: Sequence[CandidateSet],
@@ -459,6 +461,7 @@ def solution_latency_task(
     return float(np.inf)
 
 
+@traced("alloc.assign_servers")
 def assign_servers(
     tasks: Sequence[TaskSpec],
     candsets: Sequence[CandidateSet],

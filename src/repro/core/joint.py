@@ -60,6 +60,7 @@ from repro.devices.latency import LatencyModel
 from repro.errors import ConfigError, ConvergenceError
 from repro.profiling.counters import PerfCounters
 from repro.rng import SeedLike, as_generator, spawn
+from repro.telemetry.trace import Span, Tracer, get_tracer
 
 
 @dataclass(frozen=True)
@@ -158,7 +159,29 @@ class JointOptimizer:
         Precomputed ``candidates`` (one set per task, same order) can be
         passed to amortize enumeration across repeated solves — e.g. the
         dynamic-bandwidth experiment re-solves every trace change-point.
+
+        When the process tracer is enabled (``repro trace``), the solve
+        records a span tree: ``solve`` → candidates / context / per-restart
+        descend / refine / package (see DESIGN.md §9).  Disabled tracing adds
+        no spans and no allocations.
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "solve",
+            {"tasks": len(tasks), "servers": self.cluster.num_servers}
+            if tracer.enabled
+            else None,
+        ) as root:
+            return self._solve(tasks, candidates, seed, tracer, root)
+
+    def _solve(
+        self,
+        tasks: Sequence[TaskSpec],
+        candidates: Optional[Sequence[CandidateSet]],
+        seed: SeedLike,
+        tracer: Tracer,
+        root: Span,
+    ) -> JointResult:
         t_start = time.perf_counter()
         if not tasks:
             raise ConfigError("no tasks to optimize")
@@ -170,27 +193,29 @@ class JointOptimizer:
 
         perf = PerfCounters()
         if candidates is None:
-            stats_before = candidate_cache_stats()
-            candsets = [
-                build_candidates(
-                    t,
-                    threshold_grid=self.config.threshold_grid,
-                    max_cuts=self.config.max_cuts,
-                    cache=self.config.candidate_cache,
-                )
-                for t in tasks
-            ]
-            stats_after = candidate_cache_stats()
-            perf.candidate_cache_hits += stats_after.hits - stats_before.hits
-            perf.candidate_cache_misses += stats_after.misses - stats_before.misses
+            with tracer.span("solve.candidates"):
+                stats_before = candidate_cache_stats()
+                candsets = [
+                    build_candidates(
+                        t,
+                        threshold_grid=self.config.threshold_grid,
+                        max_cuts=self.config.max_cuts,
+                        cache=self.config.candidate_cache,
+                    )
+                    for t in tasks
+                ]
+                stats_after = candidate_cache_stats()
+                perf.candidate_cache_hits += stats_after.hits - stats_before.hits
+                perf.candidate_cache_misses += stats_after.misses - stats_before.misses
         else:
             if len(candidates) != len(tasks):
                 raise ConfigError("candidates/tasks length mismatch")
             candsets = list(candidates)
 
-        ctx = _SolveContext(
-            self.cluster, self.latency_model, self.objective, tasks, candsets
-        )
+        with tracer.span("solve.context"):
+            ctx = _SolveContext(
+                self.cluster, self.latency_model, self.objective, tasks, candsets
+            )
 
         # one deterministic stream per restart: restart 0 reproduces the
         # single-restart descent exactly, and the spawned streams make the
@@ -201,10 +226,15 @@ class JointOptimizer:
         restart_counters = [PerfCounters() for _ in range(restarts)]
 
         def _run(r: int) -> Tuple[float, List[int], Allocation, List[float], int, bool]:
-            return self._descend(
-                tasks, candsets, streams[r], perturb=(r > 0),
-                ctx=ctx, counters=restart_counters[r],
-            )
+            # telemetry stream r+1 == seed stream r; stream 0 is the
+            # orchestrating thread, so restart spans merge deterministically
+            # whether restarts run serially or on pool threads
+            with tracer.stream(r + 1, parent=root.span_id):
+                with tracer.span("solve.descend", {"restart": r} if tracer.enabled else None):
+                    return self._descend(
+                        tasks, candsets, streams[r], perturb=(r > 0),
+                        ctx=ctx, counters=restart_counters[r], tracer=tracer,
+                    )
 
         workers = min(self.config.restart_workers, restarts)
         if workers > 1:
@@ -218,8 +248,9 @@ class JointOptimizer:
             if best is None or out[0] < best[0]:
                 best = out
         assert best is not None
-        for rc in restart_counters:
-            perf.merge(rc)
+        # merge per-restart counters in seed-stream order, so parallel and
+        # serial runs report byte-identical work counts
+        perf.merge(PerfCounters.merged(dict(enumerate(restart_counters))))
         perf.restarts += restarts
 
         obj, plan_idx, alloc, history, iters, converged = best
@@ -231,10 +262,12 @@ class JointOptimizer:
         # appends the polished plan as an extra candidate)
         counts = {t.name: len(c) for t, c in zip(tasks, candsets)}
         if self.config.refine_thresholds:
-            candsets, plan_idx, alloc, obj = self._refine(
-                tasks, list(candsets), list(plan_idx), alloc, obj, ctx, perf
-            )
-        jp = self._package(tasks, candsets, plan_idx, alloc, obj, perf)
+            with tracer.span("solve.refine"):
+                candsets, plan_idx, alloc, obj = self._refine(
+                    tasks, list(candsets), list(plan_idx), alloc, obj, ctx, perf
+                )
+        with tracer.span("solve.package"):
+            jp = self._package(tasks, candsets, plan_idx, alloc, obj, perf)
         perf.solve_s = time.perf_counter() - t_start
         return JointResult(
             plan=jp,
@@ -255,24 +288,28 @@ class JointOptimizer:
         perturb: bool,
         ctx: _SolveContext,
         counters: PerfCounters,
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[float, List[int], Allocation, List[float], int, bool]:
         cfg = self.config
+        if tracer is None:
+            tracer = get_tracer()
         n = len(tasks)
         inc = ctx.allocator
-        assignment = assign_servers(tasks, candsets, self.cluster, self.latency_model)
-        if perturb:
-            # randomize a third of the assignments across servers/local
-            m = self.cluster.num_servers
-            for i in rng.choice(n, size=max(1, n // 3), replace=False):
-                choice = int(rng.integers(m + 1))
-                assignment[i] = None if choice == m else choice
+        with tracer.span("solve.descend.init"):
+            assignment = assign_servers(tasks, candsets, self.cluster, self.latency_model)
+            if perturb:
+                # randomize a third of the assignments across servers/local
+                m = self.cluster.num_servers
+                for i in rng.choice(n, size=max(1, n // 3), replace=False):
+                    choice = int(rng.integers(m + 1))
+                    assignment[i] = None if choice == m else choice
 
-        plan_idx = [0] * n
-        # bootstrap plans under optimistic full shares
-        alloc = Allocation(list(assignment), np.ones(n), np.ones(n))
-        plan_idx = self._surgery_step(tasks, candsets, alloc, ctx, counters)
-        alloc = inc.solve(plan_idx, assignment, counters)
-        obj = self._objective(tasks, candsets, plan_idx, alloc, counters)
+            plan_idx = [0] * n
+            # bootstrap plans under optimistic full shares
+            alloc = Allocation(list(assignment), np.ones(n), np.ones(n))
+            plan_idx = self._surgery_step(tasks, candsets, alloc, ctx, counters)
+            alloc = inc.solve(plan_idx, assignment, counters)
+            obj = self._objective(tasks, candsets, plan_idx, alloc, counters)
 
         history = [obj]
         converged = False
@@ -290,17 +327,19 @@ class JointOptimizer:
 
             # periodic re-assignment (accepted only on improvement)
             if it % cfg.reassign_every == 0:
-                cand_assignment = assign_servers(
-                    tasks, candsets, self.cluster, self.latency_model
-                )
-                cand_alloc = inc.solve(plan_idx, cand_assignment, counters)
-                cand_obj = self._objective(tasks, candsets, plan_idx, cand_alloc, counters)
-                if cand_obj < obj:
-                    alloc, obj = cand_alloc, cand_obj
-                if cfg.local_search:
-                    plan_idx, alloc, obj = self._local_search(
-                        tasks, candsets, plan_idx, alloc, obj, ctx, counters
+                with tracer.span("solve.descend.reassign", {"iteration": it} if tracer.enabled else None):
+                    cand_assignment = assign_servers(
+                        tasks, candsets, self.cluster, self.latency_model
                     )
+                    cand_alloc = inc.solve(plan_idx, cand_assignment, counters)
+                    cand_obj = self._objective(tasks, candsets, plan_idx, cand_alloc, counters)
+                    if cand_obj < obj:
+                        alloc, obj = cand_alloc, cand_obj
+                if cfg.local_search:
+                    with tracer.span("solve.descend.local_search", {"iteration": it} if tracer.enabled else None):
+                        plan_idx, alloc, obj = self._local_search(
+                            tasks, candsets, plan_idx, alloc, obj, ctx, counters
+                        )
 
             history.append(obj)
             prev = history[-2]
@@ -313,9 +352,10 @@ class JointOptimizer:
                 # before declaring convergence, give local search one shot at
                 # escaping the fixed point (unless it just ran this iteration)
                 if cfg.local_search and it % cfg.reassign_every != 0:
-                    plan_idx, alloc, new_obj = self._local_search(
-                        tasks, candsets, plan_idx, alloc, obj, ctx, counters
-                    )
+                    with tracer.span("solve.descend.local_search", {"iteration": it} if tracer.enabled else None):
+                        plan_idx, alloc, new_obj = self._local_search(
+                            tasks, candsets, plan_idx, alloc, obj, ctx, counters
+                        )
                     if new_obj < obj - cfg.tol * max(abs(obj), 1e-12):
                         obj = new_obj
                         history[-1] = obj

@@ -14,7 +14,10 @@ descent; parallel restarts each get their own instance, merged afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass
@@ -57,6 +60,36 @@ class PerfCounters:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
+    @classmethod
+    def merged(cls, by_stream: Mapping[int, "PerfCounters"]) -> "PerfCounters":
+        """Order-independent merge of per-restart counters.
+
+        Parallel restarts record into per-thread counter instances keyed by
+        their deterministic seed-stream index; merging in sorted stream order
+        makes the result independent of thread completion order, so serial
+        and parallel runs of the same solve report byte-identical counters
+        (``solve_s`` included — restart counters never carry wall time).
+        """
+        out = cls()
+        for stream in sorted(by_stream):
+            out.merge(by_stream[stream])
+        return out
+
     def as_dict(self) -> Dict[str, Union[int, float]]:
         """JSON-friendly snapshot (benchmark ``extra_info`` payload)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def publish(self, registry: "MetricsRegistry", prefix: str = "solver") -> None:
+        """Register this solve's work into a telemetry metrics registry.
+
+        Integer work counters become monotonic counters named
+        ``{prefix}.{field}``; the wall-clock ``solve_s`` becomes a gauge.
+        The dataclass stays the in-band API — this is the bridge to the
+        :mod:`repro.telemetry` layer for trace/metrics dumps.
+        """
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "solve_s":
+                registry.gauge(f"{prefix}.{f.name}").set(value)
+            else:
+                registry.counter(f"{prefix}.{f.name}").inc(value)

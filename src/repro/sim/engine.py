@@ -4,6 +4,11 @@ A binary-heap event loop with a monotonically increasing sequence number as
 tie-breaker, so simultaneous events fire in scheduling order and runs are
 bit-for-bit reproducible.  Events are plain callbacks; entities close over
 whatever state they need.
+
+For observability, an optional :attr:`Simulator.on_event` hook fires after
+every processed event with ``(now, pending)`` — the telemetry layer uses it
+to sample gauges on event boundaries.  It is ``None`` by default and the
+loop pays a single identity check per event when unset.
 """
 
 from __future__ import annotations
@@ -15,15 +20,19 @@ from repro.errors import SimulationError
 
 EventFn = Callable[[], None]
 
+#: Post-event observer signature: ``(simulation_now_s, pending_events)``.
+EventObserver = Callable[[float, int], None]
+
 
 class Simulator:
     """Event loop: ``schedule`` callbacks, then ``run``."""
 
-    def __init__(self) -> None:
+    def __init__(self, on_event: Optional[EventObserver] = None) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: List[Tuple[float, int, EventFn]] = []
         self._processed = 0
+        self.on_event = on_event
 
     @property
     def now(self) -> float:
@@ -69,6 +78,8 @@ class Simulator:
             self._now = t
             fn()
             self._processed += 1
+            if self.on_event is not None:
+                self.on_event(self._now, len(self._heap))
             if self._processed > max_events:
                 raise SimulationError(f"exceeded {max_events} events; runaway model?")
         if until is not None:

@@ -12,7 +12,7 @@ realized demands over the difficulty distribution reproduces the plan's
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.core.plan import SurgeryPlan
 from repro.models.exits import GATE_SHARPNESS, difficulty_cutoffs
 from repro.models.multiexit import MultiExitModel
 from repro.sim.entities import RequestDemand
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def sample_exit(
@@ -39,11 +40,15 @@ def realize_request(
     plan: SurgeryPlan,
     difficulty: float,
     rng: np.random.Generator,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RequestDemand:
     """Realized resource demands of one input under ``plan``.
 
     Correctness is sampled from the accuracy model's per-difficulty
-    correctness probability at the taken exit.
+    correctness probability at the taken exit.  With a ``metrics`` registry
+    attached, the realization increments ``sim.realized.requests``,
+    ``sim.realized.exit<i>`` (taken-exit position within the kept exits), and
+    ``sim.realized.offloaded`` work counters.
     """
     from repro.models.quantization import quantization_level
 
@@ -79,6 +84,12 @@ def realize_request(
     )
     p_correct = float(np.clip(p_correct + lvl.accuracy_delta, 0.01, 0.999))
     correct = bool(rng.random() < p_correct)
+
+    if metrics is not None:
+        metrics.counter("sim.realized.requests").inc()
+        metrics.counter(f"sim.realized.exit{pos}").inc()
+        if offloaded:
+            metrics.counter("sim.realized.offloaded").inc()
 
     return RequestDemand(
         exit_position=pos,

@@ -1,4 +1,11 @@
-"""Metrics collection and simulation reports."""
+"""Metrics collection and simulation reports.
+
+With telemetry enabled (``SimulationConfig(telemetry=True)``), the report
+additionally carries the per-request event :attr:`SimulationReport.timeline`
+and the :attr:`SimulationReport.registry` of sampled queue-depth /
+utilization gauges and realized-work counters — both ``None`` on ordinary
+runs, so the default path allocates nothing extra.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +16,8 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.entities import RequestRecord
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeline import Timeline
 
 
 @dataclass
@@ -48,9 +57,16 @@ class MetricsCollector:
             return
         self.records.append(rec)
 
-    def report(self, horizon_s: float, utilizations: Optional[Dict[str, float]] = None) -> "SimulationReport":
+    def report(
+        self,
+        horizon_s: float,
+        utilizations: Optional[Dict[str, float]] = None,
+        timeline: Optional[Timeline] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "SimulationReport":
         return SimulationReport.from_records(
-            self.records, horizon_s, utilizations or {}, self.discarded
+            self.records, horizon_s, utilizations or {}, self.discarded,
+            timeline=timeline, registry=registry,
         )
 
 
@@ -63,6 +79,10 @@ class SimulationReport:
     per_task: Dict[str, TaskStats]
     utilizations: Dict[str, float] = field(default_factory=dict)
     discarded_warmup: int = 0
+    #: per-request event timeline (telemetry runs only, else None)
+    timeline: Optional[Timeline] = None
+    #: sampled gauges + realized-work counters (telemetry runs only, else None)
+    registry: Optional[MetricsRegistry] = None
 
     @classmethod
     def from_records(
@@ -71,6 +91,8 @@ class SimulationReport:
         horizon_s: float,
         utilizations: Dict[str, float],
         discarded: int = 0,
+        timeline: Optional[Timeline] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "SimulationReport":
         per_task: Dict[str, TaskStats] = {}
         by_task: Dict[str, List[RequestRecord]] = {}
@@ -97,6 +119,8 @@ class SimulationReport:
             per_task=per_task,
             utilizations=utilizations,
             discarded_warmup=discarded,
+            timeline=timeline,
+            registry=registry,
         )
 
     # -- aggregates -----------------------------------------------------------

@@ -9,23 +9,36 @@ computable at start-of-service, the implementation tracks a single
 :class:`~repro.network.wireless.BandwidthTrace`: a transfer spanning trace
 change-points is integrated segment by segment, so dynamic-bandwidth
 experiments are exact rather than sampled.
+
+Both resources accept an optional
+:class:`~repro.telemetry.timeline.TimelineRecorder`; with one attached they
+track in-flight job counts and sample ``sim.queue_depth.<name>`` /
+``sim.utilization.<name>`` gauges at every submission boundary.  Without a
+recorder (the default) none of that bookkeeping runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.network.wireless import BandwidthTrace
+from repro.telemetry.timeline import TimelineRecorder
 
 
 class FifoResource:
     """Single FIFO server with a fixed service rate (FLOP/s or B/s)."""
 
-    def __init__(self, name: str, rate: float, overhead_s: float = 0.0) -> None:
+    def __init__(
+        self,
+        name: str,
+        rate: float,
+        overhead_s: float = 0.0,
+        recorder: Optional[TimelineRecorder] = None,
+    ) -> None:
         if rate <= 0:
             raise SimulationError(f"{name}: rate must be positive")
         if overhead_s < 0:
@@ -33,9 +46,24 @@ class FifoResource:
         self.name = name
         self.rate = rate
         self.overhead_s = overhead_s
+        self.recorder = recorder
         self._busy_until = 0.0
         self.busy_time = 0.0  # total service time (utilization accounting)
         self.jobs = 0
+        self._inflight: List[float] = []  # finish times (recorder only)
+
+    def depth(self, now: float) -> int:
+        """Jobs submitted but not yet finished (tracked only with a recorder)."""
+        self._inflight = [f for f in self._inflight if f > now]
+        return len(self._inflight)
+
+    def _observe(self, now: float, finish: float) -> None:
+        rec = self.recorder
+        assert rec is not None
+        self._inflight.append(finish)
+        rec.sample(f"sim.queue_depth.{self.name}", now, self.depth(now))
+        if now > 0:
+            rec.sample(f"sim.utilization.{self.name}", now, min(1.0, self.busy_time / now))
 
     def submit(self, now: float, amount: float) -> Tuple[float, float]:
         """Enqueue ``amount`` of work at time ``now``; return (start, finish).
@@ -54,6 +82,8 @@ class FifoResource:
         self._busy_until = finish
         self.busy_time += service
         self.jobs += 1
+        if self.recorder is not None:
+            self._observe(now, finish)
         return start, finish
 
     def utilization(self, horizon_s: float) -> float:
@@ -78,6 +108,7 @@ class LinkResource:
         rtt_s: float = 0.0,
         share: float = 1.0,
         trace: Optional[BandwidthTrace] = None,
+        recorder: Optional[TimelineRecorder] = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise SimulationError(f"{name}: bandwidth must be positive")
@@ -90,9 +121,16 @@ class LinkResource:
         self.rtt_s = rtt_s
         self.share = share
         self.trace = trace
+        self.recorder = recorder
         self._busy_until = 0.0
         self.busy_time = 0.0
         self.transfers = 0
+        self._inflight: List[float] = []  # serialization-finish times (recorder only)
+
+    def depth(self, now: float) -> int:
+        """Transfers submitted but not fully serialized (recorder only)."""
+        self._inflight = [f for f in self._inflight if f > now]
+        return len(self._inflight)
 
     def _serialization_finish(self, start: float, nbytes: float) -> float:
         if self.trace is None:
@@ -132,4 +170,11 @@ class LinkResource:
         self._busy_until = serialized
         self.busy_time += serialized - start
         self.transfers += 1
+        if self.recorder is not None:
+            self._inflight.append(serialized)
+            self.recorder.sample(f"sim.queue_depth.{self.name}", now, self.depth(now))
+            if now > 0:
+                self.recorder.sample(
+                    f"sim.utilization.{self.name}", now, min(1.0, self.busy_time / now)
+                )
         return start, serialized + self.rtt_s / 2.0

@@ -40,6 +40,7 @@ from repro.sim.sources import (
     MMPPArrivals,
     PoissonArrivals,
 )
+from repro.telemetry.timeline import TimelineRecorder
 
 _ARRIVALS = {"poisson", "deterministic", "mmpp"}
 
@@ -55,6 +56,9 @@ class SimulationConfig:
     burst_factor: float = 4.0
     bandwidth_trace: Optional[BandwidthTrace] = None
     seed: int = 0
+    #: record per-request event timelines + queue/utilization gauges into
+    #: ``SimulationReport.timeline`` / ``.registry`` (off by default)
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -88,8 +92,15 @@ def simulate_plan(
     cluster: EdgeCluster,
     config: Optional[SimulationConfig] = None,
     latency_model: Optional[LatencyModel] = None,
+    recorder: Optional[TimelineRecorder] = None,
 ) -> SimulationReport:
-    """Replay ``plan`` under stochastic load; return measured statistics."""
+    """Replay ``plan`` under stochastic load; return measured statistics.
+
+    With ``config.telemetry`` (or an explicit ``recorder``), every request's
+    lifecycle (enqueue → dequeue → exec-start → transfer → exit-taken →
+    complete) lands in ``report.timeline`` and queue-depth / utilization
+    gauges sampled on event boundaries land in ``report.registry``.
+    """
     cfg = config or SimulationConfig()
     lm = latency_model or LatencyModel()
     if not tasks:
@@ -98,14 +109,18 @@ def simulate_plan(
         if t.name not in plan.features:
             raise ConfigError(f"plan has no entry for task {t.name!r}")
 
+    rec = recorder if recorder is not None else (TimelineRecorder() if cfg.telemetry else None)
+    reg = rec.registry if rec is not None else None
     sim = Simulator()
+    if rec is not None:
+        sim.on_event = lambda now, pending: rec.sample("sim.pending_events", now, pending)
     metrics = MetricsCollector(warmup_s=cfg.warmup_s)
 
     # -- resources -------------------------------------------------------------
     device_res: Dict[str, FifoResource] = {}
     for d in cluster.end_devices:
         device_res[d.name] = FifoResource(
-            f"dev:{d.name}", lm.throughput(d), overhead_s=d.overhead_s
+            f"dev:{d.name}", lm.throughput(d), overhead_s=d.overhead_s, recorder=rec
         )
     task_server_res: Dict[str, FifoResource] = {}
     task_uplink_res: Dict[str, LinkResource] = {}
@@ -119,7 +134,8 @@ def simulate_plan(
         x = plan.compute_shares[t.name]
         y = plan.bandwidth_shares[t.name]
         task_server_res[t.name] = FifoResource(
-            f"srv:{t.name}", lm.throughput(server) * x, overhead_s=server.overhead_s
+            f"srv:{t.name}", lm.throughput(server) * x, overhead_s=server.overhead_s,
+            recorder=rec,
         )
         # full-duplex: each direction gets its own serialization queue
         for direction, store in (("up", task_uplink_res), ("down", task_downlink_res)):
@@ -129,6 +145,7 @@ def simulate_plan(
                 rtt_s=link.rtt_s,
                 share=y,
                 trace=cfg.bandwidth_trace,
+                recorder=rec,
             )
 
     # -- request lifecycle -------------------------------------------------------
@@ -136,10 +153,17 @@ def simulate_plan(
         model = task.model
         feats = plan.features[task.name]
         rng = derive(cfg.seed, "exec", task.name, req.req_id)
-        demand = realize_request(model, feats.plan, req.difficulty, rng)
+        demand = realize_request(model, feats.plan, req.difficulty, rng, metrics=reg)
         dres = device_res[task.device_name]
 
         def finish(completion: float, dev_busy: float, srv_busy: float, net_busy: float) -> None:
+            if rec is not None:
+                rec.event(completion, "exit_taken", task.name, req.req_id,
+                          value=float(demand.exit_position))
+                rec.event(completion, "complete", task.name, req.req_id)
+                rec.registry.histogram("sim.latency_ms").observe(
+                    (completion - req.arrival_s) * 1e3
+                )
             metrics.record(
                 RequestRecord(
                     task_name=task.name,
@@ -157,7 +181,12 @@ def simulate_plan(
             )
 
         def stage_device() -> None:
+            if rec is not None:
+                rec.event(sim.now, "enqueue", task.name, req.req_id, resource=dres.name)
             start, done = dres.submit(sim.now, demand.dev_flops)
+            if rec is not None:
+                rec.event(start, "dequeue", task.name, req.req_id, resource=dres.name)
+                rec.event(start, "exec_start", task.name, req.req_id, resource=dres.name)
             dev_busy = done - start
             if not demand.offloaded:
                 sim.schedule_at(done, lambda: finish(done, dev_busy, 0.0, 0.0))
@@ -167,18 +196,26 @@ def simulate_plan(
         def stage_uplink(dev_busy: float) -> None:
             lres = task_uplink_res[task.name]
             start, done = lres.submit(sim.now, demand.up_bytes)
+            if rec is not None:
+                rec.event(start, "transfer_start", task.name, req.req_id, resource=lres.name)
+                rec.event(done, "transfer_end", task.name, req.req_id, resource=lres.name)
             net1 = done - start
             sim.schedule_at(done, lambda: stage_server(dev_busy, net1))
 
         def stage_server(dev_busy: float, net1: float) -> None:
             sres = task_server_res[task.name]
             start, done = sres.submit(sim.now, demand.srv_flops)
+            if rec is not None:
+                rec.event(start, "exec_start", task.name, req.req_id, resource=sres.name)
             srv_busy = done - start
             sim.schedule_at(done, lambda: stage_downlink(dev_busy, net1, srv_busy))
 
         def stage_downlink(dev_busy: float, net1: float, srv_busy: float) -> None:
             lres = task_downlink_res[task.name]
             start, done = lres.submit(sim.now, demand.down_bytes)
+            if rec is not None:
+                rec.event(start, "transfer_start", task.name, req.req_id, resource=lres.name)
+                rec.event(done, "transfer_end", task.name, req.req_id, resource=lres.name)
             net = net1 + (done - start)
             sim.schedule_at(done, lambda: finish(done, dev_busy, srv_busy, net))
 
@@ -208,4 +245,9 @@ def simulate_plan(
     utils = {r.name: r.utilization(cfg.horizon_s) for r in device_res.values()}
     for r in task_server_res.values():
         utils[r.name] = r.utilization(cfg.horizon_s)
-    return metrics.report(cfg.horizon_s, utils)
+    return metrics.report(
+        cfg.horizon_s,
+        utils,
+        timeline=rec.timeline if rec is not None else None,
+        registry=reg,
+    )

@@ -1,0 +1,68 @@
+"""First-class observability: structured tracing, metrics, event timelines.
+
+Three cooperating pieces (see DESIGN.md §9 for the taxonomy):
+
+- :mod:`repro.telemetry.trace` — a span-based tracer with nested spans,
+  thread-local buffers that merge deterministically across parallel solver
+  restarts, and JSONL / Perfetto (Chrome trace-event) exporters.  Disabled by
+  default; the disabled fast path allocates nothing.
+- :mod:`repro.telemetry.metrics` — a registry of named counters, gauges, and
+  fixed-bucket latency histograms with ``snapshot()`` / text / JSONL dumps.
+  :class:`repro.profiling.counters.PerfCounters` publishes into it.
+- :mod:`repro.telemetry.timeline` — per-request simulator event timelines
+  (enqueue → dequeue → exec-start → transfer → exit-taken → complete) and the
+  nullable :class:`TimelineRecorder` handle the simulator threads them
+  through.
+
+Entry point: ``repro trace`` (CLI) enables everything for one run, writes
+``trace.json`` (Perfetto-loadable) + ``metrics.jsonl``, and prints the solver
+phase breakdown.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.timeline import (
+    EVENT_KINDS,
+    Timeline,
+    TimelineEvent,
+    TimelineRecorder,
+)
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    export_jsonl,
+    export_perfetto,
+    get_tracer,
+    phase_breakdown,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Timeline",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "Tracer",
+    "export_jsonl",
+    "export_perfetto",
+    "get_registry",
+    "get_tracer",
+    "phase_breakdown",
+    "set_registry",
+    "set_tracer",
+]

@@ -1,0 +1,426 @@
+"""Span-based structured tracer.
+
+A :class:`Tracer` records nested wall-clock spans into **per-thread buffers**
+so that code running under parallel restarts (thread pools) never contends on
+a shared list.  Each span carries a ``stream`` index — the deterministic
+seed-stream number of the restart that produced it — and :meth:`Tracer.drain`
+merges the per-thread buffers sorted by ``(stream, per-thread sequence)``, so
+the merged trace is identical whether the restarts ran serially or in
+parallel (wall-clock timestamps aside).
+
+Tracing is **off by default** and the disabled path is allocation-free:
+``tracer.span(...)`` returns a module-level no-op context-manager singleton,
+so instrumented hot paths pay one attribute check and nothing else.
+
+Exporters:
+
+- :func:`export_jsonl` — one JSON object per span, machine-grep friendly;
+- :func:`export_perfetto` — Chrome trace-event JSON loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev (spans become complete
+  ``"X"`` events; streams map to tracks).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "export_jsonl",
+    "export_perfetto",
+    "get_tracer",
+    "phase_breakdown",
+    "set_tracer",
+    "traced",
+]
+
+
+class Span:
+    """One finished (or in-flight) traced region.
+
+    ``span_id`` / ``parent_id`` are ``(stream, seq)`` pairs, unique within one
+    tracer session and stable across serial/parallel execution of the same
+    streams.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "stream", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: Tuple[int, int],
+        parent_id: Optional[Tuple[int, int]],
+        stream: int,
+        start_s: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.stream = stream
+        self.start_s = start_s
+        self.end_s = float("nan")
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute to the span."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": list(self.span_id),
+            "parent_id": list(self.parent_id) if self.parent_id else None,
+            "stream": self.stream,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs or {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, stream={self.stream})"
+
+
+class _NullSpan:
+    """The span handed out when tracing is disabled: absorbs everything."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    attrs: Optional[Dict[str, Any]] = None
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+#: Module-level singleton: the disabled fast path allocates nothing.
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its thread's buffer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self._span: Optional[Span] = None
+        local = tracer._state()
+        span_id = (local.stream, local.seq)
+        local.seq += 1
+        parent = local.stack[-1] if local.stack else local.parent
+        self._span = Span(name, span_id, parent, local.stream, 0.0, attrs)
+        local.stack.append(span_id)
+        self._span.start_s = time.perf_counter()
+
+    def __enter__(self) -> Span:
+        assert self._span is not None
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        span = self._span
+        assert span is not None
+        span.end_s = time.perf_counter()
+        local = self._tracer._state()
+        local.stack.pop()
+        local.buffer.append(span)
+
+
+class _StreamContext:
+    """Sets the thread-local stream index (and optional cross-thread parent).
+
+    The per-thread sequence counter is swapped for the stream's own counter on
+    entry (and persisted on exit), so a span's ``(stream, seq)`` id is the same
+    whether streams run serially on one thread or in parallel on many — the
+    property :meth:`Tracer.drain`'s deterministic merge relies on.  Streams
+    are meant for one concurrent user each (one restart = one stream).
+    """
+
+    __slots__ = ("_tracer", "_stream", "_parent", "_saved")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        stream: int,
+        parent: Optional[Tuple[int, int]],
+    ) -> None:
+        self._tracer = tracer
+        self._stream = stream
+        self._parent = parent
+        self._saved: Optional[Tuple[int, Optional[Tuple[int, int]], int]] = None
+
+    def __enter__(self) -> "_StreamContext":
+        local = self._tracer._state()
+        self._saved = (local.stream, local.parent, local.seq)
+        local.stream = self._stream
+        local.parent = self._parent
+        local.seq = self._tracer._stream_seq.get(self._stream, 0)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        local = self._tracer._state()
+        assert self._saved is not None
+        self._tracer._stream_seq[self._stream] = local.seq
+        local.stream, local.parent, local.seq = self._saved
+
+
+class _ThreadState(threading.local):
+    """Per-thread recording state: buffer, span stack, stream, sequence."""
+
+    def __init__(self) -> None:  # called once per thread on first access
+        self.buffer: List[Span] = []
+        self.stack: List[Tuple[int, int]] = []
+        self.stream: int = 0
+        self.parent: Optional[Tuple[int, int]] = None
+        self.seq: int = 0
+        self.registered = False
+
+
+class Tracer:
+    """Span recorder with per-thread buffers and deterministic merge.
+
+    Usage::
+
+        tracer = get_tracer()
+        tracer.enable()
+        with tracer.span("solve", {"tasks": 8}) as sp:
+            with tracer.span("solve.candidates"):
+                ...
+            sp.set("objective_ms", 12.3)
+        spans = tracer.drain()
+
+    Parallel sections set the stream index first (optionally re-parenting
+    under a span opened in another thread)::
+
+        with tracer.stream(r, parent=root.span_id):
+            with tracer.span("solve.descend", {"restart": r}):
+                ...
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._local = _ThreadState()
+        self._lock = threading.Lock()
+        self._all_buffers: List[List[Span]] = []
+        #: next span seq per stream index (swapped in by _StreamContext)
+        self._stream_seq: Dict[int, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def _state(self) -> _ThreadState:
+        local = self._local
+        if not local.registered:
+            with self._lock:
+                self._all_buffers.append(local.buffer)
+            local.registered = True
+        return local
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        """Open a span; returns a context manager yielding the :class:`Span`.
+
+        When tracing is disabled this returns :data:`NULL_SPAN` — the same
+        object every call, no allocation.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def stream(self, index: int, parent: Optional[Tuple[int, int]] = None):
+        """Context manager tagging spans recorded by this thread with seed
+        stream ``index`` (and re-parenting top-level spans under ``parent``)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _StreamContext(self, index, parent)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> "Tracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    def drain(self) -> List[Span]:
+        """All finished spans merged deterministically; clears the buffers.
+
+        Spans are ordered by ``(stream, per-thread sequence)``: within one
+        stream the recording order is preserved, and stream blocks are sorted
+        by seed-stream index — identical for serial and parallel execution.
+        """
+        with self._lock:
+            merged: List[Span] = []
+            for buf in self._all_buffers:
+                merged.extend(buf)
+                buf.clear()
+            self._stream_seq.clear()
+        merged.sort(key=lambda s: s.span_id)
+        return merged
+
+
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled unless explicitly enabled)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide tracer (tests / embedders); returns it."""
+    global _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return tracer
+
+
+def traced(name: str):
+    """Decorator recording a span around each call of the wrapped function.
+
+    The disabled path is one attribute check — safe on warm (but not
+    innermost-loop) paths.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            tracer = _GLOBAL_TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# -- exporters --------------------------------------------------------------
+
+
+def export_jsonl(spans: Iterable[Span], path: str) -> None:
+    """Write one JSON object per span (grep/jq-friendly)."""
+    with open(path, "w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.as_dict()) + "\n")
+
+
+def perfetto_events(
+    spans: Iterable[Span],
+    pid: int = 1,
+    process_name: str = "repro",
+) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event ``"X"`` (complete) events.
+
+    Timestamps are microseconds relative to the earliest span start; each
+    stream becomes its own thread track so parallel restarts render side by
+    side.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    t0 = min(s.start_s for s in spans)
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    streams = sorted({s.stream for s in spans})
+    for stream in streams:
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": stream,
+                "name": "thread_name",
+                "args": {"name": f"stream {stream}"},
+            }
+        )
+    for s in spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": s.stream,
+                "name": s.name,
+                "ts": (s.start_s - t0) * 1e6,
+                "dur": max(s.duration_s, 0.0) * 1e6,
+                "args": s.attrs or {},
+            }
+        )
+    return events
+
+
+def export_perfetto(
+    spans: Iterable[Span],
+    path: str,
+    extra_events: Optional[Sequence[Dict[str, Any]]] = None,
+) -> None:
+    """Write a ``chrome://tracing`` / Perfetto-loadable trace JSON.
+
+    ``extra_events`` (e.g. simulator timeline events from
+    :meth:`repro.telemetry.timeline.Timeline.perfetto_events`) are appended to
+    the same ``traceEvents`` array.
+    """
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": perfetto_events(spans) + list(extra_events or []),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+# -- analysis ---------------------------------------------------------------
+
+
+def phase_breakdown(
+    spans: Sequence[Span], root: str = "solve"
+) -> List[Tuple[str, int, float, float]]:
+    """Aggregate the direct children of ``root`` spans into phases.
+
+    Returns rows ``(phase, count, total_s, fraction_of_root)`` sorted by
+    descending total time, with a final ``("(untraced)", ...)`` row holding
+    whatever root wall time no child span covers.  Fractions are relative to
+    the summed duration of all ``root`` spans.
+    """
+    roots = {s.span_id: s for s in spans if s.name == root}
+    root_total = sum(s.duration_s for s in roots.values())
+    if not roots or root_total <= 0:
+        return []
+    by_name: Dict[str, Tuple[int, float]] = {}
+    covered = 0.0
+    for s in spans:
+        if s.parent_id in roots:
+            count, total = by_name.get(s.name, (0, 0.0))
+            by_name[s.name] = (count + 1, total + s.duration_s)
+            covered += s.duration_s
+    rows = [
+        (name, count, total, total / root_total)
+        for name, (count, total) in by_name.items()
+    ]
+    rows.sort(key=lambda r: -r[2])
+    untraced = max(root_total - covered, 0.0)
+    rows.append(("(untraced)", len(roots), untraced, untraced / root_total))
+    return rows

@@ -193,6 +193,22 @@ class TestSolverDeterminism:
         with pytest.raises(Exception):
             JointSolverConfig(restart_workers=0)
 
+    def test_parallel_restart_counters_match_serial(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        """Merged work counters are order-independent: the parallel merge keys
+        restarts by seed-stream index, so thread completion order is invisible."""
+        serial = JointOptimizer(
+            small_cluster, config=JointSolverConfig(restarts=4)
+        ).solve(small_tasks, candidates=small_candidates, seed=11)
+        parallel = JointOptimizer(
+            small_cluster,
+            config=JointSolverConfig(restarts=4, restart_workers=4),
+        ).solve(small_tasks, candidates=small_candidates, seed=11)
+        s, p = serial.perf.as_dict(), parallel.perf.as_dict()
+        s.pop("solve_s"), p.pop("solve_s")  # wall clock is machine noise
+        assert s == p
+
 
 class TestPerfCounters:
     def test_counters_populated(self, small_cluster, small_tasks):

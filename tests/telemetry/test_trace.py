@@ -1,0 +1,189 @@
+"""Span tracer: nesting, disabled fast path, exporters, deterministic merge."""
+
+import json
+import threading
+
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    Tracer,
+    export_jsonl,
+    export_perfetto,
+    get_tracer,
+    phase_breakdown,
+    set_tracer,
+    traced,
+)
+
+
+class TestNesting:
+    def test_parent_child_integrity(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("solve") as root:
+            with tracer.span("solve.candidates") as a:
+                with tracer.span("inner") as b:
+                    pass
+            with tracer.span("solve.refine") as c:
+                pass
+        spans = tracer.drain()
+        # drain orders by (stream, seq): span-open order, not close order
+        assert [s.name for s in spans] == [
+            "solve", "solve.candidates", "inner", "solve.refine",
+        ]
+        by_name = {s.name: s for s in spans}
+        assert by_name["solve"].parent_id is None
+        assert by_name["solve.candidates"].parent_id == by_name["solve"].span_id
+        assert by_name["inner"].parent_id == by_name["solve.candidates"].span_id
+        assert by_name["solve.refine"].parent_id == by_name["solve"].span_id
+        assert root.span_id == by_name["solve"].span_id
+        assert a.span_id != b.span_id != c.span_id
+
+    def test_spans_record_wall_clock_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", {"n": 3}) as sp:
+            sp.set("result", "ok")
+        (span,) = tracer.drain()
+        assert span.end_s >= span.start_s
+        assert span.duration_s >= 0.0
+        assert span.attrs == {"n": 3, "result": "ok"}
+        d = span.as_dict()
+        assert d["name"] == "work" and d["attrs"]["result"] == "ok"
+
+    def test_drain_clears_buffers(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("once"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+
+
+class TestDisabledFastPath:
+    def test_span_returns_singleton(self):
+        tracer = Tracer(enabled=False)
+        s1 = tracer.span("hot", {"ignored": True})
+        s2 = tracer.span("hot2")
+        assert s1 is NULL_SPAN and s2 is NULL_SPAN  # zero allocation per call
+        with s1 as sp:
+            sp.set("key", "value")  # absorbed silently
+        assert tracer.drain() == []
+
+    def test_stream_returns_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.stream(3) is NULL_SPAN
+
+    def test_traced_decorator_passthrough(self):
+        calls = []
+
+        @traced("decorated.fn")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        old = get_tracer()
+        try:
+            tracer = set_tracer(Tracer(enabled=False))
+            assert fn(21) == 42
+            assert tracer.drain() == []
+            tracer.enable()
+            assert fn(1) == 2
+            (span,) = tracer.drain()
+            assert span.name == "decorated.fn"
+        finally:
+            set_tracer(old)
+        assert calls == [21, 1]
+
+
+class TestExporters:
+    def _spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("solve", {"tasks": 2}):
+            with tracer.span("solve.candidates"):
+                pass
+        return tracer.drain()
+
+    def test_perfetto_round_trips_json_loads(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        export_perfetto(self._spans(), path)
+        payload = json.loads(open(path).read())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert names == {"solve", "solve.candidates"}
+        for e in events:
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_perfetto_extra_events_appended(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        extra = [{"ph": "i", "pid": 2, "tid": 0, "name": "enqueue", "ts": 1.0}]
+        export_perfetto(self._spans(), path, extra_events=extra)
+        payload = json.loads(open(path).read())
+        assert {"enqueue"} <= {e["name"] for e in payload["traceEvents"]}
+
+    def test_jsonl_one_object_per_span(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        spans = self._spans()
+        export_jsonl(spans, path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == len(spans)
+        objs = [json.loads(ln) for ln in lines]
+        assert {o["name"] for o in objs} == {"solve", "solve.candidates"}
+
+
+class TestStreamMerge:
+    def _record(self, tracer, parallel):
+        """Record one root + three per-stream children, serially or threaded."""
+        with tracer.span("solve") as root:
+            def work(r):
+                with tracer.stream(r + 1, parent=root.span_id):
+                    with tracer.span("solve.descend", {"restart": r}):
+                        pass
+
+            if parallel:
+                threads = [threading.Thread(target=work, args=(r,)) for r in range(3)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            else:
+                for r in range(3):
+                    work(r)
+        return tracer.drain()
+
+    def test_serial_and_parallel_merge_identically(self):
+        serial = self._record(Tracer(enabled=True), parallel=False)
+        threaded = self._record(Tracer(enabled=True), parallel=True)
+        key = lambda spans: [(s.name, s.span_id, s.parent_id, s.attrs) for s in spans]
+        assert key(serial) == key(threaded)
+
+    def test_cross_thread_reparenting(self):
+        spans = self._record(Tracer(enabled=True), parallel=True)
+        root = next(s for s in spans if s.name == "solve")
+        descends = [s for s in spans if s.name == "solve.descend"]
+        assert len(descends) == 3
+        assert all(s.parent_id == root.span_id for s in descends)
+        assert sorted(s.stream for s in descends) == [1, 2, 3]
+
+
+class TestPhaseBreakdown:
+    def test_children_aggregate_with_untraced_row(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("solve"):
+            with tracer.span("solve.candidates"):
+                pass
+            with tracer.span("solve.descend"):
+                pass
+            with tracer.span("solve.descend"):
+                pass
+        rows = phase_breakdown(tracer.drain(), root="solve")
+        by_phase = {name: (count, frac) for name, count, _, frac in rows}
+        assert by_phase["solve.descend"][0] == 2
+        assert by_phase["solve.candidates"][0] == 1
+        assert "(untraced)" in by_phase
+        # child time + untraced covers the whole root
+        assert abs(sum(frac for _, _, _, frac in rows) - 1.0) < 1e-6
+
+    def test_no_roots_is_empty(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("other"):
+            pass
+        assert phase_breakdown(tracer.drain(), root="solve") == []

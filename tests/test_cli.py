@@ -57,3 +57,46 @@ class TestCommands:
 
     def test_deadline_objective_flag(self, capsys):
         assert main(["solve", "--tasks", "2", "--objective", "deadline_miss"]) == 0
+
+    def test_trace_writes_outputs_and_breakdown(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        assert main(
+            ["trace", "smart_city", "--tasks", "2", "--servers", "2",
+             "--out", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "solve phase breakdown" in out
+        assert "solve.candidates" in out
+        import json
+
+        payload = json.loads((out_dir / "trace.json").read_text())
+        assert payload["traceEvents"]
+        metric_names = {
+            json.loads(ln)["name"]
+            for ln in (out_dir / "metrics.jsonl").read_text().splitlines()
+        }
+        assert "solver.allocate_calls" in metric_names
+        # the CLI must leave the process-wide tracer disabled afterwards
+        from repro.telemetry.trace import get_tracer
+
+        assert not get_tracer().enabled
+
+    def test_trace_simulate_includes_timeline(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        assert main(
+            ["trace", "mobile_ar", "--tasks", "2", "--servers", "2",
+             "--simulate", "--horizon", "3", "--out", str(out_dir)]
+        ) == 0
+        import json
+
+        payload = json.loads((out_dir / "trace.json").read_text())
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert "simulator" in {
+            e["args"].get("name")
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and "args" in e
+        } or any(n in names for n in ("enqueue", "exec_start", "complete"))
+
+    def test_trace_rejects_unknown_target(self, capsys):
+        assert main(["trace", "not_a_scenario"]) == 1
+        assert "unknown trace target" in capsys.readouterr().err
