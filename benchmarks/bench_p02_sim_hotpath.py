@@ -1,0 +1,93 @@
+"""P2 micro-bench: the simulator hot path.
+
+E4/E5/E11 time whole experiments; this file times the simulator engines in
+isolation on an E4-style workload (smart_city x 64 tasks, 60 s horizon) so
+regressions are attributable:
+
+- one replication, fast path vs. the reference event loop — the vectorized
+  pipeline sweep should win by an order of magnitude while producing a
+  bit-identical report;
+- eight replications, fast path on 4 worker processes vs. the seed
+  configuration (event loop, serial) — the PR's headline ">= 5x" claim.
+
+Both benches assert report equality alongside the speedup, so a "fast but
+wrong" regression fails before any timing threshold does.
+"""
+
+from dataclasses import replace
+from time import perf_counter
+
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer
+from repro.sim import SimulationConfig, merge_reports, run_replications
+from repro.sim.runner import simulate_plan
+from repro.workloads.scenarios import build_scenario
+
+_WORKLOAD = {}
+
+
+def _workload():
+    """smart_city x 64 tasks + its joint plan, built once per session."""
+    if not _WORKLOAD:
+        cluster, tasks = build_scenario("smart_city", num_tasks=64, seed=0)
+        cands = [build_candidates(t) for t in tasks]
+        plan = JointOptimizer(cluster).solve(tasks, candidates=cands, seed=0).plan
+        _WORKLOAD["built"] = (tasks, plan, cluster)
+    return _WORKLOAD["built"]
+
+
+def _reports_equal(a, b) -> bool:
+    return (
+        a.records == b.records
+        and a.utilizations == b.utilizations
+        and a.discarded_warmup == b.discarded_warmup
+        and a.counters == b.counters
+    )
+
+
+def test_single_replication_fastpath(benchmark):
+    tasks, plan, cluster = _workload()
+    cfg = SimulationConfig(horizon_s=60.0, warmup_s=2.0, seed=0)
+
+    t0 = perf_counter()
+    event_report = simulate_plan(tasks, plan, cluster, replace(cfg, fast_path=False))
+    event_s = perf_counter() - t0
+
+    fast_report = benchmark(lambda: simulate_plan(tasks, plan, cluster, cfg))
+
+    assert _reports_equal(fast_report, event_report)
+    benchmark.extra_info["event_s"] = event_s
+    benchmark.extra_info["counters"] = fast_report.counters.as_dict()
+
+
+def test_replication_fanout_speedup(benchmark):
+    """Fast path + 4 workers vs. the seed event loop, 8 replications."""
+    tasks, plan, cluster = _workload()
+    fast_cfg = SimulationConfig(
+        horizon_s=60.0, warmup_s=2.0, seed=0, replications=8, sim_workers=4
+    )
+    seed_cfg = replace(fast_cfg, fast_path=False, sim_workers=1)
+
+    t0 = perf_counter()
+    event_reports = run_replications(tasks, plan, cluster, seed_cfg)
+    event_s = perf_counter() - t0
+
+    t0 = perf_counter()
+    fast_reports = run_replications(tasks, plan, cluster, fast_cfg)
+    fast_s = perf_counter() - t0
+
+    for fast, event in zip(fast_reports, event_reports):
+        assert _reports_equal(fast, event)
+    speedup = event_s / fast_s
+    assert speedup >= 5.0, f"fast fan-out only {speedup:.1f}x vs seed event loop"
+
+    merged = benchmark.pedantic(
+        lambda: merge_reports(run_replications(tasks, plan, cluster, fast_cfg)),
+        rounds=1,
+        iterations=1,
+    )
+    assert merged.counters.replications == 8
+    benchmark.extra_info["event_s"] = event_s
+    benchmark.extra_info["fast_s"] = fast_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["counters"] = merged.counters.as_dict()

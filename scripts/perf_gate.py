@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Perf smoke gate for the joint solver (E9 scalability sweep).
+"""Perf smoke gate for the joint solver (E9) and the simulator hot path.
 
-Runs the E9 experiment and compares the largest instance against a
-checked-in baseline:
+``--suite solver`` (default) runs the E9 experiment and compares the largest
+instance against a checked-in baseline:
 
 - ``solve_s`` may not regress beyond ``--factor`` (default 1.5×) — a coarse
   wall-clock guard, deliberately loose to tolerate machine variance;
@@ -14,18 +14,29 @@ checked-in baseline:
   snapshot (``solver.*``) published by the solver's perf layer, so the gate
   exercises the same path ``repro trace`` exports.
 
-``--check-overhead`` instead measures a tracing-**disabled** solve and
-asserts its wall time stays within ``--overhead`` (default 2%) of the
-baseline ``solve_s`` — guarding the telemetry instrumentation's disabled
-fast path against creeping cost.  Refresh the baseline on the measuring
-machine first (``--update``): a 2% band is only meaningful against numbers
-from the same hardware.
+``--suite sim`` measures the simulator on a fixed 16-task / 20 s workload:
+
+- ``sim_s`` (the vectorized fast path) may not regress beyond ``--factor``;
+- the deterministic ``sim.*`` work counters (requests, records,
+  discarded_warmup, events) must match the baseline **exactly** — the
+  workload is fully seeded, so any drift means the simulation itself
+  changed, and the gate prints a per-counter diff;
+- the fast-path and event-loop reports must be equal (the bit-identity
+  contract), re-checked on every gate run.
+
+``--check-overhead`` instead measures a tracing-**disabled** solve (or, for
+``--suite sim``, a telemetry-disabled event-loop run) and asserts its wall
+time stays within ``--overhead`` (default 2%) of the baseline — guarding
+the instrumentation's disabled path against creeping cost.  Refresh the
+baseline on the measuring machine first (``--update``): a 2% band is only
+meaningful against numbers from the same hardware.
 
 Usage:
 
-    PYTHONPATH=src python scripts/perf_gate.py                   # check
+    PYTHONPATH=src python scripts/perf_gate.py                   # solver check
     PYTHONPATH=src python scripts/perf_gate.py --update          # rewrite baseline
     PYTHONPATH=src python scripts/perf_gate.py --check-overhead  # telemetry overhead
+    PYTHONPATH=src python scripts/perf_gate.py --suite sim       # simulator check
 
 Exit code 0 = within budget, 1 = regression.
 """
@@ -36,19 +47,21 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from time import perf_counter
 
 from repro.experiments import e09_scalability
 from repro.telemetry.metrics import MetricsRegistry
 
-DEFAULT_BASELINE = (
-    Path(__file__).resolve().parent.parent
-    / "benchmarks"
-    / "baselines"
-    / "e09_solver_baseline.json"
-)
+_BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+DEFAULT_BASELINE = _BASELINE_DIR / "e09_solver_baseline.json"
+DEFAULT_SIM_BASELINE = _BASELINE_DIR / "sim_baseline.json"
 
-#: Deterministic counters gated alongside wall time.
+#: Deterministic solver counters gated alongside wall time (ratio-gated).
 GATED_COUNTERS = ("allocate_calls", "allocate_group_solves", "latency_evals")
+
+#: Deterministic simulator counters — gated by **exact** equality: the sim
+#: workload is fully seeded, so any drift means simulation behavior changed.
+SIM_GATED_COUNTERS = ("requests", "records", "discarded_warmup", "events")
 
 
 def measure(rounds: int = 3) -> dict:
@@ -84,6 +97,157 @@ def measure(rounds: int = 3) -> dict:
     }
 
 
+def _sim_workload():
+    """The gate's fixed simulator workload: smart_city × 16 tasks, 20 s horizon.
+
+    Built fresh each call (imports stay lazy so ``--suite solver`` keeps its
+    original import footprint); everything downstream is seeded, so repeated
+    builds produce the identical plan and identical simulation.
+    """
+    from repro.core.candidates import build_candidates
+    from repro.core.joint import JointOptimizer
+    from repro.sim import SimulationConfig
+    from repro.workloads.scenarios import build_scenario
+
+    cluster, tasks = build_scenario("smart_city", num_tasks=16, seed=0)
+    cands = [build_candidates(t) for t in tasks]
+    plan = JointOptimizer(cluster).solve(tasks, candidates=cands, seed=0).plan
+    cfg = SimulationConfig(horizon_s=20.0, warmup_s=2.0, seed=0)
+    return tasks, plan, cluster, cfg
+
+
+def _reports_equal(a, b) -> bool:
+    """Bit-identity check between two simulation reports (the fast-path contract)."""
+    return (
+        a.records == b.records
+        and a.utilizations == b.utilizations
+        and a.discarded_warmup == b.discarded_warmup
+        and a.counters == b.counters
+    )
+
+
+def measure_sim(rounds: int = 3) -> dict:
+    """Simulator measurement in the gate's JSON-safe shape.
+
+    Times both engines on the fixed workload (best of ``rounds``, same
+    rationale as :func:`measure`), re-checks the fast-path ≡ event-loop
+    report identity, and routes the deterministic work counters through a
+    metrics-registry snapshot — the same ``sim.*`` names telemetry runs
+    publish — so the gate exercises the export path.
+    """
+    from dataclasses import replace
+
+    from repro.sim.runner import simulate_plan
+
+    tasks, plan, cluster, cfg = _sim_workload()
+    event_cfg = replace(cfg, fast_path=False)
+    best_sim = best_event = float("inf")
+    for _ in range(rounds):
+        t0 = perf_counter()
+        fast_report = simulate_plan(tasks, plan, cluster, cfg)
+        best_sim = min(best_sim, perf_counter() - t0)
+        t0 = perf_counter()
+        event_report = simulate_plan(tasks, plan, cluster, event_cfg)
+        best_event = min(best_event, perf_counter() - t0)
+    registry = MetricsRegistry()
+    fast_report.counters.publish(registry)
+    snapshot = registry.snapshot()
+    return {
+        "suite": "sim",
+        "workload": "smart_city x16 tasks, 20s horizon, seed 0",
+        "sim_s": best_sim,
+        "event_s": best_event,
+        "paths_equal": _reports_equal(fast_report, event_report),
+        "counters": {
+            name: snapshot[f"sim.{name}"]["value"] for name in SIM_GATED_COUNTERS
+        },
+    }
+
+
+def check_sim(baseline: dict, current: dict, factor: float) -> int:
+    """Gate the simulator: bit-identity, fast-path wall, exact counters."""
+    failures = []
+    status = "OK" if current["paths_equal"] else "FAIL"
+    print(f"{status} fast-path report == event-loop report (fixed seed)")
+    if not current["paths_equal"]:
+        failures.append("paths_equal")
+    ratio = current["sim_s"] / max(baseline["sim_s"], 1e-9)
+    status = "OK" if ratio <= factor else "FAIL"
+    print(
+        f"{status} sim_s {current['sim_s']:.4f}s vs baseline "
+        f"{baseline['sim_s']:.4f}s ({ratio:.2f}x, budget {factor:.2f}x)"
+    )
+    if ratio > factor:
+        failures.append("sim_s")
+    for name in SIM_GATED_COUNTERS:
+        base = baseline["counters"].get(name)
+        cur = current["counters"][name]
+        if base is None:
+            continue
+        status = "OK" if cur == base else "FAIL"
+        print(f"{status} sim.{name} {cur} vs baseline {base} (exact, drift {cur - base:+d})")
+        if cur != base:
+            failures.append(f"sim.{name}")
+    if failures:
+        print(f"sim perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("sim perf gate passed")
+    return 0
+
+
+def check_sim_overhead(baseline_path: Path, overhead: float) -> int:
+    """Assert the telemetry-disabled event loop stays within ``overhead``.
+
+    The event loop is the permanent fallback (telemetry, non-default
+    features), so its telemetry-off wall time is gated the same way the
+    solver's tracing-disabled path is.
+    """
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path}; run with --suite sim --update first",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    current = measure_sim()
+    budget = baseline["event_s"] * (1.0 + overhead)
+    ratio = current["event_s"] / max(baseline["event_s"], 1e-9)
+    status = "OK" if current["event_s"] <= budget else "FAIL"
+    print(
+        f"{status} telemetry-disabled event_s {current['event_s']:.4f}s vs "
+        f"baseline {baseline['event_s']:.4f}s "
+        f"({ratio:.3f}x, budget {1.0 + overhead:.2f}x)"
+    )
+    if current["event_s"] > budget:
+        print("sim overhead gate FAILED", file=sys.stderr)
+        return 1
+    print("sim overhead gate passed")
+    return 0
+
+
+def run_sim_suite(args) -> int:
+    """``--suite sim`` flow: overhead check, baseline update, or full gate."""
+    if args.check_overhead:
+        return check_sim_overhead(args.baseline, args.overhead)
+    current = measure_sim()
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        if not current["paths_equal"]:
+            print("refusing to write baseline: fast path != event loop", file=sys.stderr)
+            return 1
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        print(json.dumps(current, indent=2))
+        return 0
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --suite sim --update first",
+            file=sys.stderr,
+        )
+        return 1
+    return check_sim(json.loads(args.baseline.read_text()), current, args.factor)
+
+
 def check_overhead(baseline_path: Path, overhead: float) -> int:
     """Assert a tracing-disabled solve stays within ``overhead`` of baseline."""
     from repro.telemetry.trace import get_tracer
@@ -116,7 +280,18 @@ def check_overhead(baseline_path: Path, overhead: float) -> int:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument(
+        "--suite",
+        choices=("solver", "sim"),
+        default="solver",
+        help="what to gate: the E9 joint solver (default) or the simulator hot path",
+    )
+    ap.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON (default: the per-suite file under benchmarks/baselines/)",
+    )
     ap.add_argument(
         "--factor",
         type=float,
@@ -140,6 +315,11 @@ def main(argv=None) -> int:
         help="allowed fractional overhead for --check-overhead (default 2%%)",
     )
     args = ap.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = DEFAULT_SIM_BASELINE if args.suite == "sim" else DEFAULT_BASELINE
+
+    if args.suite == "sim":
+        return run_sim_suite(args)
 
     if args.check_overhead:
         return check_overhead(args.baseline, args.overhead)

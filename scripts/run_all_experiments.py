@@ -15,6 +15,11 @@ successful table.
 ``--telemetry-dir DIR`` additionally runs each experiment with tracing
 enabled and writes ``DIR/<EID>.trace.json`` (Perfetto-loadable) and
 ``DIR/<EID>.metrics.jsonl`` per experiment.
+
+``--sim-replications N`` runs every simulator-backed experiment (E4, E5,
+E6, E11, E12, E14, E15, A4) with N independent replications per measured
+point, fanned out over ``--sim-workers`` processes; reported statistics
+pool all replications.  Defaults (1/1) reproduce single-run outputs.
 """
 
 import argparse
@@ -40,8 +45,21 @@ KNOBS = {
     "A4": dict(loads=(8, 24), horizon_s=15.0),
 }
 
+#: Experiments that replay plans through the simulator and accept
+#: ``replications`` / ``sim_workers`` knobs.
+SIM_EXPERIMENTS = ("E4", "E5", "E6", "E11", "E12", "E14", "E15", "A4")
 
-def _run_one(eid: str, telemetry_dir: str = "") -> tuple:
+
+def _with_sim_knobs(eid: str, replications: int, sim_workers: int) -> dict:
+    knobs = dict(KNOBS.get(eid, {}))
+    if eid in SIM_EXPERIMENTS and replications > 1:
+        knobs["replications"] = replications
+        knobs["sim_workers"] = sim_workers
+    return knobs
+
+
+def _run_one(eid: str, telemetry_dir: str = "", sim_replications: int = 1,
+             sim_workers: int = 1) -> tuple:
     """Worker entry point (module-level so it pickles for process pools).
 
     Returns ``(eid, seconds, formatted_table_or_None, error_or_None)`` — the
@@ -49,6 +67,7 @@ def _run_one(eid: str, telemetry_dir: str = "") -> tuple:
     failures with the experiment that caused them.
     """
     t0 = time.time()
+    knobs = _with_sim_knobs(eid, sim_replications, sim_workers)
     try:
         if telemetry_dir:
             from repro.telemetry import (
@@ -61,7 +80,7 @@ def _run_one(eid: str, telemetry_dir: str = "") -> tuple:
             out.mkdir(parents=True, exist_ok=True)
             tracer = get_tracer().enable()
             try:
-                result = run_experiment(eid, **KNOBS.get(eid, {}))
+                result = run_experiment(eid, **knobs)
             finally:
                 tracer.disable()
             spans = tracer.drain()
@@ -72,7 +91,7 @@ def _run_one(eid: str, telemetry_dir: str = "") -> tuple:
                 perf.publish(registry)
             registry.export_jsonl(str(out / f"{eid}.metrics.jsonl"))
         else:
-            result = run_experiment(eid, **KNOBS.get(eid, {}))
+            result = run_experiment(eid, **knobs)
     except Exception:
         return eid, time.time() - t0, None, traceback.format_exc()
     return eid, time.time() - t0, result.format(), None
@@ -91,11 +110,30 @@ def main() -> int:
         default="",
         help="write per-experiment trace.json + metrics.jsonl into this directory",
     )
+    ap.add_argument(
+        "--sim-replications",
+        type=int,
+        default=1,
+        help="simulator replications per measured point (sim-backed experiments)",
+    )
+    ap.add_argument(
+        "--sim-workers",
+        type=int,
+        default=1,
+        help="worker processes per experiment for replication fan-out",
+    )
     args = ap.parse_args()
     if args.jobs < 1:
         ap.error("--jobs must be >= 1")
+    if args.sim_replications < 1 or args.sim_workers < 1:
+        ap.error("--sim-replications and --sim-workers must be >= 1")
     order = sorted(EXPERIMENTS, key=lambda e: (e[0], int(e[1:])))
-    worker = functools.partial(_run_one, telemetry_dir=args.telemetry_dir)
+    worker = functools.partial(
+        _run_one,
+        telemetry_dir=args.telemetry_dir,
+        sim_replications=args.sim_replications,
+        sim_workers=args.sim_workers,
+    )
     if args.jobs == 1:
         outputs = map(worker, order)
     else:

@@ -19,8 +19,8 @@ from typing import Sequence
 
 from repro.core.candidates import build_candidates
 from repro.core.joint import JointOptimizer, JointSolverConfig
-from repro.experiments.common import ExperimentResult
-from repro.sim import SimulationConfig, simulate_plan
+from repro.experiments.common import ExperimentResult, simulate_measured
+from repro.sim import SimulationConfig
 from repro.workloads.scenarios import build_scenario
 
 DEFAULT_LOADS = (2, 4, 8)
@@ -31,6 +31,8 @@ def run(
     loads: Sequence[int] = DEFAULT_LOADS,
     horizon_s: float = 20.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Congestion-aware vs congestion-blind solving, measured by simulation."""
     rows = []
@@ -44,9 +46,12 @@ def run(
         blind = JointOptimizer(
             cluster, config=JointSolverConfig(include_queueing=False)
         ).solve(tasks, candidates=cands, seed=seed).plan
-        cfg = SimulationConfig(horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed)
-        m_aware = simulate_plan(tasks, aware, cluster, cfg)
-        m_blind = simulate_plan(tasks, blind, cluster, cfg)
+        cfg = SimulationConfig(
+            horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
+            replications=replications, sim_workers=sim_workers,
+        )
+        m_aware = simulate_measured(tasks, aware, cluster, cfg)
+        m_blind = simulate_measured(tasks, blind, cluster, cfg)
         extras["aware"][n] = m_aware.mean_latency_s
         extras["blind"][n] = m_blind.mean_latency_s
         rows.append(

@@ -29,6 +29,8 @@ from repro.devices.latency import LatencyModel
 from repro.errors import InfeasibleError
 from repro.analysis.tables import format_table
 from repro.rng import SeedLike
+from repro.sim.metrics import SimulationReport, merge_reports
+from repro.sim.runner import SimulationConfig, run_replications, simulate_plan
 
 
 @dataclass
@@ -102,6 +104,28 @@ def run_strategies(
         except InfeasibleError:
             continue
     return out
+
+
+def simulate_measured(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cluster: EdgeCluster,
+    config: SimulationConfig,
+    latency_model: Optional[LatencyModel] = None,
+) -> SimulationReport:
+    """Simulate ``plan``, honouring ``config.replications``/``sim_workers``.
+
+    With one replication (the default everywhere) this is exactly
+    :func:`repro.sim.runner.simulate_plan`, so experiment outputs are
+    unchanged; with more, replications fan out deterministically and the
+    pooled report (records concatenated in replication order, utilizations
+    averaged, counters merged) is returned.
+    """
+    if config.replications == 1:
+        return simulate_plan(tasks, plan, cluster, config, latency_model)
+    return merge_reports(
+        run_replications(tasks, plan, cluster, config, latency_model)
+    )
 
 
 def finite(x: float, cap: float = float("inf")) -> float:

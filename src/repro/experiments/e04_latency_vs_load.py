@@ -15,8 +15,8 @@ import numpy as np
 
 from repro.baselines import AllocationOnly, EdgeOnly, Edgent, Neurosurgeon, RoundRobinStrategy
 from repro.core.candidates import build_candidates
-from repro.experiments.common import ExperimentResult, run_strategies
-from repro.sim import SimulationConfig, simulate_plan
+from repro.experiments.common import ExperimentResult, run_strategies, simulate_measured
+from repro.sim import SimulationConfig
 from repro.workloads.scenarios import build_scenario
 
 DEFAULT_LOADS = (2, 4, 8, 16)
@@ -27,6 +27,8 @@ def run(
     loads: Sequence[int] = DEFAULT_LOADS,
     horizon_s: float = 20.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Sweep task count; simulate each strategy's plan; report mean/p99."""
     strategies = [
@@ -43,11 +45,14 @@ def run(
         cands = [build_candidates(t) for t in tasks]
         plans = run_strategies(tasks, cluster, strategies, candidates=cands, seed=seed)
         for name, plan in plans.items():
-            rep = simulate_plan(
+            rep = simulate_measured(
                 tasks,
                 plan,
                 cluster,
-                SimulationConfig(horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed),
+                SimulationConfig(
+                    horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
+                    replications=replications, sim_workers=sim_workers,
+                ),
             )
             extras.setdefault(name, {})[n] = {
                 "mean": rep.mean_latency_s,

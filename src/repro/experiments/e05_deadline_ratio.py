@@ -15,8 +15,8 @@ from typing import Dict, Sequence
 from repro.baselines import AllocationOnly, EdgeOnly, Edgent, Neurosurgeon
 from repro.core.candidates import build_candidates
 from repro.core.objectives import Objective
-from repro.experiments.common import ExperimentResult, run_strategies
-from repro.sim import SimulationConfig, simulate_plan
+from repro.experiments.common import ExperimentResult, run_strategies, simulate_measured
+from repro.sim import SimulationConfig
 from repro.workloads.scenarios import build_scenario
 
 DEFAULT_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
@@ -28,6 +28,8 @@ def run(
     scales: Sequence[float] = DEFAULT_SCALES,
     horizon_s: float = 20.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Sweep deadline scale; report measured satisfaction ratio per strategy."""
     cluster, base_tasks = build_scenario(scenario, num_tasks=num_tasks, seed=seed)
@@ -48,11 +50,14 @@ def run(
             seed=seed,
         )
         for name, plan in plans.items():
-            rep = simulate_plan(
+            rep = simulate_measured(
                 tasks,
                 plan,
                 cluster,
-                SimulationConfig(horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed),
+                SimulationConfig(
+                    horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
+                    replications=replications, sim_workers=sim_workers,
+                ),
             )
             ratio = 1.0 - rep.miss_rate
             extras.setdefault(name, {})[scale] = ratio

@@ -22,9 +22,14 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.candidates import build_candidates
-from repro.experiments.common import ExperimentResult, default_strategies, run_strategies
+from repro.experiments.common import (
+    ExperimentResult,
+    default_strategies,
+    run_strategies,
+    simulate_measured,
+)
 from repro.rng import derive
-from repro.sim import SimulationConfig, simulate_plan
+from repro.sim import SimulationConfig
 from repro.workloads.generator import RandomScenarioConfig, random_scenario
 
 #: Cap applied to reported max speedups (unstable baselines grow with the
@@ -37,6 +42,8 @@ def run(
     horizon_s: float = 20.0,
     seed: int = 7,
     config: RandomScenarioConfig = RandomScenarioConfig(),
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Solve + simulate ``num_scenarios`` random instances; report speedups."""
     speedups: Dict[str, List[float]] = {}
@@ -47,11 +54,14 @@ def run(
         plans = run_strategies(tasks, cluster, strategies, candidates=cands, seed=k)
         measured: Dict[str, float] = {}
         for name, plan in plans.items():
-            rep = simulate_plan(
+            rep = simulate_measured(
                 tasks,
                 plan,
                 cluster,
-                SimulationConfig(horizon_s=horizon_s, warmup_s=horizon_s / 6, seed=k),
+                SimulationConfig(
+                    horizon_s=horizon_s, warmup_s=horizon_s / 6, seed=k,
+                    replications=replications, sim_workers=sim_workers,
+                ),
             )
             measured[name] = rep.mean_latency_s
         joint = measured.get("joint")

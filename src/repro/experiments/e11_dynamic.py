@@ -27,10 +27,10 @@ import numpy as np
 from repro.core.candidates import build_candidates
 from repro.core.joint import JointOptimizer
 from repro.devices.cluster import EdgeCluster
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, simulate_measured
 from repro.network.link import Link
 from repro.network.topology import StarTopology
-from repro.sim import SimulationConfig, simulate_plan
+from repro.sim import SimulationConfig
 from repro.units import mbps, to_mbps
 from repro.workloads.scenarios import build_scenario
 
@@ -55,6 +55,8 @@ def run(
     window_s: float = 10.0,
     nominal_mbps: float = 40.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Window-by-window static vs adaptive comparison under a fade profile."""
     cluster, tasks = build_scenario(scenario, num_tasks=num_tasks, seed=seed)
@@ -74,9 +76,12 @@ def run(
         adaptive_plan = (
             JointOptimizer(win_cluster).solve(tasks, candidates=cands, seed=seed).plan
         )
-        cfg = SimulationConfig(horizon_s=window_s, warmup_s=0.0, seed=seed + w)
-        rep_static = simulate_plan(tasks, static_plan, win_cluster, cfg)
-        rep_adapt = simulate_plan(tasks, adaptive_plan, win_cluster, cfg)
+        cfg = SimulationConfig(
+            horizon_s=window_s, warmup_s=0.0, seed=seed + w,
+            replications=replications, sim_workers=sim_workers,
+        )
+        rep_static = simulate_measured(tasks, static_plan, win_cluster, cfg)
+        rep_adapt = simulate_measured(tasks, adaptive_plan, win_cluster, cfg)
         series["static"].append(rep_static.mean_latency_s)
         series["adaptive"].append(rep_adapt.mean_latency_s)
         rows.append(

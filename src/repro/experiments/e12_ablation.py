@@ -18,8 +18,13 @@ import numpy as np
 
 from repro.core.candidates import build_candidates
 from repro.core.distributed import best_response_offloading
-from repro.experiments.common import ExperimentResult, default_strategies, run_strategies
-from repro.sim import SimulationConfig, simulate_plan
+from repro.experiments.common import (
+    ExperimentResult,
+    default_strategies,
+    run_strategies,
+    simulate_measured,
+)
+from repro.sim import SimulationConfig
 from repro.workloads.scenarios import build_scenario
 
 
@@ -28,6 +33,8 @@ def run(
     num_tasks: int = 8,
     horizon_s: float = 20.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Full ablation ladder on one instance, predicted + simulated."""
     cluster, tasks = build_scenario(scenario, num_tasks=num_tasks, seed=seed)
@@ -43,11 +50,14 @@ def run(
     extras: Dict[str, Dict[str, float]] = {}
     for name in sorted(plans, key=lambda n: plans[n].objective_value):
         plan = plans[name]
-        rep = simulate_plan(
+        rep = simulate_measured(
             tasks,
             plan,
             cluster,
-            SimulationConfig(horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed),
+            SimulationConfig(
+                horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
+                replications=replications, sim_workers=sim_workers,
+            ),
         )
         extras[name] = {
             "objective": plan.objective_value,

@@ -24,9 +24,9 @@ from repro.core.joint import JointOptimizer
 from repro.core.plan import TaskSpec
 from repro.devices.cluster import EdgeCluster
 from repro.devices.presets import SERVER_PRESETS, device_preset
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, simulate_measured
 from repro.network.link import Link
-from repro.sim import SimulationConfig, simulate_plan
+from repro.sim import SimulationConfig
 from repro.units import mbps
 from repro.workloads.scenarios import multiexit_model
 
@@ -38,6 +38,8 @@ def run(
     rates: Sequence[float] = DEFAULT_RATES,
     horizon_s: float = 60.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Sweep arrival rate; report predicted vs simulated mean latency."""
     model = multiexit_model(model_name, 4, "mixed")
@@ -54,11 +56,14 @@ def run(
         cands = [build_candidates(task)]
         res = JointOptimizer(cluster).solve([task], candidates=cands, seed=seed)
         predicted = res.plan.latencies["t0"]
-        rep = simulate_plan(
+        rep = simulate_measured(
             [task],
             res.plan,
             cluster,
-            SimulationConfig(horizon_s=horizon_s, warmup_s=horizon_s / 6, seed=seed),
+            SimulationConfig(
+                horizon_s=horizon_s, warmup_s=horizon_s / 6, seed=seed,
+                replications=replications, sim_workers=sim_workers,
+            ),
         )
         measured = rep.mean_latency_s
         err = (predicted - measured) / measured

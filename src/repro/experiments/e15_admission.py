@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.core.admission import admit_tasks
 from repro.core.candidates import build_candidates
-from repro.experiments.common import ExperimentResult
-from repro.sim import SimulationConfig, simulate_plan
+from repro.experiments.common import ExperimentResult, simulate_measured
+from repro.sim import SimulationConfig
 from repro.workloads.scenarios import build_scenario
 
 DEFAULT_LOADS = (4, 8, 16, 32)
@@ -35,6 +35,8 @@ def run(
     deadline_scale: float = 1.25,
     horizon_s: float = 20.0,
     seed: int = 0,
+    replications: int = 1,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
     """Sweep offered load; admit, then simulate the admitted set."""
     rows = []
@@ -49,12 +51,13 @@ def run(
         res = admit_tasks(tasks, cluster, candidates=cands, seed=seed)
         extras["ratio"][n] = res.admission_ratio
         if res.admitted and res.plan is not None:
-            rep = simulate_plan(
+            rep = simulate_measured(
                 res.admitted,
                 res.plan,
                 cluster,
                 SimulationConfig(
-                    horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed
+                    horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
+                    replications=replications, sim_workers=sim_workers,
                 ),
             )
             satisfied = 1.0 - rep.miss_rate

@@ -46,11 +46,17 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(n)]
 
 
-def derive(seed: SeedLike, *tokens: Union[int, str]) -> np.random.Generator:
-    """Derive a named child stream, stable across runs and call order.
+def derive_material(seed: SeedLike, *tokens: Union[int, str]) -> list[int]:
+    """Entropy material for :func:`derive`, exposed for stream caching.
 
-    ``derive(seed, "arrivals", 3)`` always yields the same stream for the
-    same ``seed`` — unlike :func:`spawn`, which depends on spawn order.
+    The simulator's fast path derives one child stream per request by
+    appending the request id to a fixed per-task prefix; computing the prefix
+    once via this helper (and finishing with :func:`derive_from` or
+    :mod:`repro.rng_vec`) avoids re-hashing the task tokens per request while
+    producing byte-identical streams to ``derive(seed, *tokens, req_id)``.
+
+    Note the generator case consumes one draw from ``seed`` exactly like
+    :func:`derive` does.
     """
     if isinstance(seed, np.random.Generator):
         base = int(seed.integers(2**31))
@@ -60,8 +66,41 @@ def derive(seed: SeedLike, *tokens: Union[int, str]) -> np.random.Generator:
         base = int(seed.generate_state(1)[0])
     else:
         base = int(seed)
-    material = [base] + [
+    return [base] + [
         t if isinstance(t, int) else int.from_bytes(t.encode()[:8].ljust(8, b"\0"), "little")
         for t in tokens
     ]
-    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+def derive_from(material: list[int], *tokens: Union[int, str]) -> np.random.Generator:
+    """Finish a derivation started with :func:`derive_material`.
+
+    ``derive_from(derive_material(seed, "exec", name), req_id)`` is the same
+    stream as ``derive(seed, "exec", name, req_id)``.
+    """
+    extra = [
+        t if isinstance(t, int) else int.from_bytes(t.encode()[:8].ljust(8, b"\0"), "little")
+        for t in tokens
+    ]
+    return np.random.default_rng(np.random.SeedSequence(material + extra))
+
+
+def derive_seed(seed: SeedLike, *tokens: Union[int, str]) -> int:
+    """A derived 63-bit integer seed for a named child stream.
+
+    Used where a plain ``int`` must cross a process boundary (e.g. per-
+    replication simulator seeds): deterministic in ``seed`` and ``tokens``,
+    independent across distinct token tuples.
+    """
+    material = derive_material(seed, *tokens)
+    state = np.random.SeedSequence(material).generate_state(1, np.uint64)
+    return int(state[0]) & (2**63 - 1)
+
+
+def derive(seed: SeedLike, *tokens: Union[int, str]) -> np.random.Generator:
+    """Derive a named child stream, stable across runs and call order.
+
+    ``derive(seed, "arrivals", 3)`` always yields the same stream for the
+    same ``seed`` — unlike :func:`spawn`, which depends on spawn order.
+    """
+    return np.random.default_rng(np.random.SeedSequence(derive_material(seed, *tokens)))

@@ -10,15 +10,21 @@ simulator-driven; E14 validates the analytic queueing terms against it.
 
 from repro.sim.engine import Simulator
 from repro.sim.entities import Request, RequestDemand, RequestRecord
-from repro.sim.execution import realize_request, sample_exit
-from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.execution import RealizationTable, realize_request, sample_exit
+from repro.sim.metrics import (
+    MetricsCollector,
+    SimCounters,
+    SimulationReport,
+    merge_reports,
+)
 from repro.sim.queues import FifoResource, LinkResource
-from repro.sim.runner import SimulationConfig, simulate_plan
+from repro.sim.runner import SimulationConfig, run_replications, simulate_plan
 from repro.sim.sources import (
     DeterministicArrivals,
     MMPPArrivals,
     PoissonArrivals,
     TraceArrivals,
+    arrival_times,
 )
 
 __all__ = [
@@ -28,14 +34,19 @@ __all__ = [
     "MMPPArrivals",
     "MetricsCollector",
     "PoissonArrivals",
+    "RealizationTable",
     "Request",
     "RequestDemand",
     "RequestRecord",
+    "SimCounters",
     "SimulationConfig",
     "SimulationReport",
     "Simulator",
     "TraceArrivals",
+    "arrival_times",
+    "merge_reports",
     "realize_request",
+    "run_replications",
     "sample_exit",
     "simulate_plan",
 ]

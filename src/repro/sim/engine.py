@@ -18,6 +18,9 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 EventFn = Callable[[], None]
 
 #: Post-event observer signature: ``(simulation_now_s, pending_events)``.
@@ -59,7 +62,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6g} before now={self._now:.6g}"
             )
-        heapq.heappush(self._heap, (max(time, self._now), self._seq, fn))
+        _heappush(self._heap, (max(time, self._now), self._seq, fn))
         self._seq += 1
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
@@ -68,20 +71,48 @@ class Simulator:
         Stops when the heap empties, when the next event is after ``until``
         (clock advances to ``until``), or when ``max_events`` is exceeded
         (raises — a runaway model is a bug, not a result).
+
+        The loop is split on whether an :attr:`on_event` observer is
+        installed, hoisting that check (and the heap-op attribute lookups)
+        out of the per-event path; installing or removing the observer
+        mid-run (no caller does) would take effect on the next ``run``.
         """
-        while self._heap:
-            t, _, fn = self._heap[0]
-            if until is not None and t > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = t
-            fn()
-            self._processed += 1
-            if self.on_event is not None:
-                self.on_event(self._now, len(self._heap))
-            if self._processed > max_events:
-                raise SimulationError(f"exceeded {max_events} events; runaway model?")
+        heap = self._heap
+        pop = _heappop
+        observer = self.on_event
+        processed = self._processed
+        try:
+            if observer is None:
+                while heap:
+                    t, _, fn = heap[0]
+                    if until is not None and t > until:
+                        self._now = until
+                        return self._now
+                    pop(heap)
+                    self._now = t
+                    fn()
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; runaway model?"
+                        )
+            else:
+                while heap:
+                    t, _, fn = heap[0]
+                    if until is not None and t > until:
+                        self._now = until
+                        return self._now
+                    pop(heap)
+                    self._now = t
+                    fn()
+                    processed += 1
+                    observer(self._now, len(heap))
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; runaway model?"
+                        )
+        finally:
+            self._processed = processed
         if until is not None:
             self._now = max(self._now, until)
         return self._now

@@ -35,6 +35,81 @@ def sample_exit(
     return int(np.argmax(fires))
 
 
+class RealizationTable:
+    """Per-(model, plan) realization precompute for the vectorized fast path.
+
+    Demands depend on the sampled difficulty only through the taken exit
+    position, so one plan admits a table of per-position
+    :class:`RequestDemand` prototypes plus the exit cutoffs; realizing a
+    batch is then an ``argmax`` over cutoffs, a table gather, and one
+    vectorized correctness draw.  Every per-position entry is computed with
+    the same scalar expressions (and the same summation/clipping order) as
+    :func:`realize_request`, so batch realization is bit-identical to the
+    per-request path — a pin test asserts this.
+    """
+
+    def __init__(self, model: MultiExitModel, plan: SurgeryPlan) -> None:
+        from repro.models.quantization import quantization_level
+
+        plan.validate_against(model)
+        self.model = model
+        self.plan = plan
+        lvl = quantization_level(plan.quantization)
+        kept = list(plan.kept_exits)
+        comp = model.competences[kept]
+        self.cutoffs = difficulty_cutoffs(comp, np.asarray(plan.thresholds), GATE_SHARPNESS)
+        self.competences = comp
+
+        c = plan.partition_cut
+        cut_flops = model.cut_flops
+        cut_bytes = model.cut_bytes
+        attach = model.exit_cut_indices[kept]
+        backbone = np.array([model.exits[k].backbone_flops for k in kept], dtype=float)
+        branch = np.array([model.exits[k].branch_flops for k in kept], dtype=float)
+        on_device = attach <= c
+
+        n_pos = len(kept)
+        self.dev_flops = np.empty(n_pos)
+        self.srv_flops = np.empty(n_pos)
+        self.up_bytes = np.empty(n_pos)
+        self.down_bytes = np.empty(n_pos)
+        self.offloaded = np.empty(n_pos, dtype=bool)
+        self.accuracy_delta = lvl.accuracy_delta
+        for pos in range(n_pos):
+            offloaded = int(attach[pos]) > c
+            dev_backbone = min(float(backbone[pos]), float(cut_flops[c]))
+            srv_backbone = max(float(backbone[pos]) - float(cut_flops[c]), 0.0)
+            dev_branch = float(np.sum(np.where(on_device[: pos + 1], branch[: pos + 1], 0.0)))
+            srv_branch = float(np.sum(np.where(on_device[: pos + 1], 0.0, branch[: pos + 1])))
+            self.dev_flops[pos] = (dev_backbone + dev_branch) / lvl.compute_speedup
+            self.srv_flops[pos] = (
+                srv_backbone + (srv_branch if offloaded else 0.0)
+            ) / lvl.compute_speedup
+            self.up_bytes[pos] = float(cut_bytes[c]) * lvl.wire_scale if offloaded else 0.0
+            self.down_bytes[pos] = (
+                float(model.result_bytes) * lvl.wire_scale if offloaded else 0.0
+            )
+            self.offloaded[pos] = offloaded
+
+    def positions(self, difficulties: np.ndarray) -> np.ndarray:
+        """Vectorized :func:`sample_exit` over a difficulty batch."""
+        fires = difficulties[:, None] <= self.cutoffs[None, :]
+        return np.argmax(fires, axis=1)
+
+    def p_correct(self, positions: np.ndarray, difficulties: np.ndarray) -> np.ndarray:
+        """Clipped per-request correctness probability at the taken exits.
+
+        Same elementwise ops as ``accuracy_model.correctness`` on the
+        (competence, difficulty) pairs — computed directly instead of through
+        the broadcasting (n, n) matrix the scalar path slices one cell from.
+        """
+        from repro.models.accuracy import sigmoid
+
+        s = self.model.accuracy_model.difficulty_sensitivity
+        probs = sigmoid(s * (self.competences[positions] - difficulties))
+        return np.clip(probs + self.accuracy_delta, 0.01, 0.999)
+
+
 def realize_request(
     model: MultiExitModel,
     plan: SurgeryPlan,

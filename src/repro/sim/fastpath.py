@@ -1,0 +1,285 @@
+"""Vectorized fast path for :func:`repro.sim.runner.simulate_plan`.
+
+The event loop's work factors into (a) per-request stochastic realization —
+arrival times, difficulties, exit positions, correctness draws — and (b) a
+device→uplink→server→downlink FIFO pipeline whose only coupling is each
+resource's ``busy_until`` horizon.  Neither needs a heap: (a) vectorizes
+completely (``RealizationTable`` + :mod:`repro.rng_vec`), and (b) reduces to
+per-resource *sweeps* — one lean recurrence per resource over submissions in
+the exact order the event loop would have made them.
+
+The hard part is reproducing the event loop **bit for bit**, which pins two
+orderings:
+
+- *submission order* per resource: the shared device resource receives
+  requests in ``(arrival, global-index)`` order; each per-task stage resource
+  receives its task's offloaded requests in the stable sort of the previous
+  stage's completion times over the previous stage's processing order (each
+  stage event is scheduled while its predecessor fires, so heap sequence
+  numbers inherit the predecessor's order);
+- *record order*: completion callbacks interleave globally by
+  ``(completion time, heap sequence)``, where the sequence comparison
+  recurses through each request's scheduling chain.  That collapses to a
+  lexicographic key — offloaded: ``(completion, server_done,
+  uplink_delivery, device_done, arrival, gidx)``; non-offloaded:
+  ``(completion, arrival, -inf, -inf, -inf, gidx)`` (the ``-inf`` padding
+  encodes that arrival events always beat same-time dynamic events, since
+  all arrivals are scheduled before the run starts and hold the lowest
+  sequence numbers).
+
+Eligibility is decided by the caller (:func:`~repro.sim.runner.simulate_plan`):
+any telemetry recorder forces the event loop, since gauges sample on event
+boundaries the fast path does not visit.  Everything else — bandwidth
+traces included (``LinkResource.sweep`` reuses the exact trace integration) —
+is fast-path eligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.plan import JointPlan, TaskSpec
+from repro.errors import SimulationError
+from repro.rng import derive, derive_material
+from repro.rng_vec import first_uniforms
+from repro.sim.entities import RequestRecord
+from repro.sim.execution import RealizationTable
+from repro.sim.metrics import SimCounters
+from repro.sim.queues import FifoResource, LinkResource
+from repro.sim.sources import arrival_times
+
+__all__ = ["sweep_pipeline"]
+
+
+class _TaskStream:
+    """Realized request stream of one task (all arrays indexed by req_id)."""
+
+    __slots__ = (
+        "task", "n", "arrival", "deadline", "positions", "offloaded", "correct",
+        "dev_flops", "srv_flops", "up_bytes", "down_bytes",
+        "dev_start", "dev_done", "uplink_delivery", "server_done",
+        "completion", "srv_busy", "net_busy",
+    )
+
+    def __init__(self, task: TaskSpec, plan: JointPlan, cfg) -> None:
+        self.task = task
+        arrival = arrival_times(
+            task.arrival_rate,
+            cfg.horizon_s,
+            cfg.arrival,
+            cfg.burst_factor,
+            derive(cfg.seed, "arrivals", task.name),
+        )
+        diff_rng = derive(cfg.seed, "difficulty", task.name)
+        difficulties = np.clip(
+            task.model.difficulty.sample(diff_rng, arrival.size), 0.0, 1.0
+        )
+        n = arrival.size
+        self.n = n
+        self.arrival = arrival.astype(np.float64)
+        self.deadline = self.arrival + task.deadline_s
+
+        table = RealizationTable(task.model, plan.features[task.name].plan)
+        pos = table.positions(difficulties)
+        uniforms = first_uniforms(
+            derive_material(cfg.seed, "exec", task.name), np.arange(n)
+        )
+        self.positions = pos
+        self.offloaded = table.offloaded[pos]
+        self.correct = uniforms < table.p_correct(pos, difficulties)
+        self.dev_flops = table.dev_flops[pos]
+        self.srv_flops = table.srv_flops[pos]
+        self.up_bytes = table.up_bytes[pos]
+        self.down_bytes = table.down_bytes[pos]
+
+        self.dev_start = np.empty(n)
+        self.dev_done = np.empty(n)
+        self.uplink_delivery = np.full(n, -np.inf)
+        self.server_done = np.full(n, -np.inf)
+        self.completion = np.empty(n)
+        self.srv_busy = np.zeros(n)
+        self.net_busy = np.zeros(n)
+
+
+def _sweep_devices(
+    streams: Sequence[_TaskStream], device_res: Dict[str, FifoResource]
+) -> None:
+    """Run every shared device resource over its tasks' merged arrivals.
+
+    The event loop submits device work while arrival events fire, i.e. in
+    ``(arrival time, global scheduling index)`` order; concatenating the
+    device's streams in task order *is* global-index order, so a stable
+    argsort by arrival reproduces it exactly.
+    """
+    by_device: Dict[str, List[_TaskStream]] = {}
+    for s in streams:
+        by_device.setdefault(s.task.device_name, []).append(s)
+    for dname, members in by_device.items():
+        arrival = np.concatenate([s.arrival for s in members])
+        work = np.concatenate([s.dev_flops for s in members])
+        order = np.argsort(arrival, kind="stable")
+        starts, finishes = device_res[dname].sweep(arrival[order], work[order])
+        all_starts = np.empty_like(arrival)
+        all_done = np.empty_like(arrival)
+        all_starts[order] = starts
+        all_done[order] = finishes
+        off = 0
+        for s in members:
+            s.dev_start = all_starts[off : off + s.n]
+            s.dev_done = all_done[off : off + s.n]
+            off += s.n
+
+
+def _sweep_offload_stages(
+    stream: _TaskStream,
+    task_server_res: Dict[str, FifoResource],
+    task_uplink_res: Dict[str, LinkResource],
+    task_downlink_res: Dict[str, LinkResource],
+) -> None:
+    """Uplink → server → downlink for one task's offloaded requests.
+
+    Each stage's submission order is the stable sort of the previous stage's
+    completion times over the previous stage's processing order (stage
+    events inherit heap-sequence order from their schedulers), so the orders
+    chain: ``ord_u`` over device completions in request order, then re-sorts
+    by each stage's own finish times.
+    """
+    name = stream.task.name
+    off_idx = np.flatnonzero(stream.offloaded)
+    stream.completion = stream.dev_done.copy()
+    if off_idx.size == 0:
+        return
+    ord_u = off_idx[np.argsort(stream.dev_done[off_idx], kind="stable")]
+    u_start, u_deliver = task_uplink_res[name].sweep(
+        stream.dev_done[ord_u], stream.up_bytes[ord_u]
+    )
+    stream.uplink_delivery[ord_u] = u_deliver
+    stream.net_busy[ord_u] = u_deliver - u_start
+
+    ord_s = ord_u[np.argsort(u_deliver, kind="stable")]
+    s_start, s_done = task_server_res[name].sweep(
+        stream.uplink_delivery[ord_s], stream.srv_flops[ord_s]
+    )
+    stream.server_done[ord_s] = s_done
+    stream.srv_busy[ord_s] = s_done - s_start
+
+    ord_d = ord_s[np.argsort(s_done, kind="stable")]
+    d_start, d_deliver = task_downlink_res[name].sweep(
+        stream.server_done[ord_d], stream.down_bytes[ord_d]
+    )
+    stream.completion[ord_d] = d_deliver
+    stream.net_busy[ord_d] += d_deliver - d_start
+
+
+def _record_order(
+    completion: np.ndarray,
+    arrival: np.ndarray,
+    offloaded: np.ndarray,
+    server_done: np.ndarray,
+    uplink_delivery: np.ndarray,
+    device_done: np.ndarray,
+) -> np.ndarray:
+    """Global completion-callback order of the event loop.
+
+    Ties in completion time resolve by heap sequence number, which recurses
+    through each request's scheduling chain (finish ← downlink ← server ←
+    uplink ← arrival for offloaded; finish ← arrival for non-offloaded).
+    ``-inf`` in the offload-only key slots encodes that an arrival event
+    outranks any same-time dynamic event; remaining full ties fall back to
+    lexsort's stability, i.e. global scheduling index.
+    """
+    neg_inf = np.float64(-np.inf)
+    k2 = np.where(offloaded, server_done, arrival)
+    k3 = np.where(offloaded, uplink_delivery, neg_inf)
+    k4 = np.where(offloaded, device_done, neg_inf)
+    k5 = np.where(offloaded, arrival, neg_inf)
+    return np.lexsort((k5, k4, k3, k2, completion))
+
+
+def sweep_pipeline(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cfg,
+    device_res: Dict[str, FifoResource],
+    task_server_res: Dict[str, FifoResource],
+    task_uplink_res: Dict[str, LinkResource],
+    task_downlink_res: Dict[str, LinkResource],
+) -> Tuple[List[RequestRecord], int, SimCounters]:
+    """Vectorized equivalent of the event loop over already-built resources.
+
+    Mutates the resources exactly as the event loop would (busy horizons,
+    busy time, job counts) and returns ``(records, discarded, counters)``
+    where ``records`` is warmup-filtered and in the event loop's completion
+    order.  Bit-identical to the event path by construction.
+    """
+    streams = [_TaskStream(t, plan, cfg) for t in tasks]
+    total = sum(s.n for s in streams)
+    if total == 0:
+        raise SimulationError("no requests generated; horizon or rates too small")
+
+    _sweep_devices(streams, device_res)
+    for s in streams:
+        _sweep_offload_stages(
+            s, task_server_res, task_uplink_res, task_downlink_res
+        )
+
+    arrival = np.concatenate([s.arrival for s in streams])
+    completion = np.concatenate([s.completion for s in streams])
+    offloaded = np.concatenate([s.offloaded for s in streams])
+    order = _record_order(
+        completion,
+        arrival,
+        offloaded,
+        np.concatenate([s.server_done for s in streams]),
+        np.concatenate([s.uplink_delivery for s in streams]),
+        np.concatenate([s.dev_done for s in streams]),
+    )
+    if np.any(completion < arrival):  # pragma: no cover - structural invariant
+        bad = int(np.argmax(completion < arrival))
+        raise SimulationError(f"request #{bad} completes before it arrives")
+
+    task_names = np.concatenate(
+        [np.full(s.n, i, dtype=np.intp) for i, s in enumerate(streams)]
+    )
+    req_ids = np.concatenate([np.arange(s.n, dtype=np.intp) for s in streams])
+    deadline = np.concatenate([s.deadline for s in streams])
+    positions = np.concatenate([s.positions for s in streams])
+    correct = np.concatenate([s.correct for s in streams])
+    dev_busy = np.concatenate([s.dev_done - s.dev_start for s in streams])
+    srv_busy = np.concatenate([s.srv_busy for s in streams])
+    net_busy = np.concatenate([s.net_busy for s in streams])
+
+    warmup = cfg.warmup_s
+    names = [s.task.name for s in streams]
+    records: List[RequestRecord] = []
+    for g in order.tolist():
+        a = arrival[g]
+        if a < warmup:
+            continue
+        records.append(
+            RequestRecord(
+                task_name=names[task_names[g]],
+                req_id=int(req_ids[g]),
+                arrival_s=float(a),
+                completion_s=float(completion[g]),
+                deadline_s=float(deadline[g]),
+                exit_position=int(positions[g]),
+                offloaded=bool(offloaded[g]),
+                correct=bool(correct[g]),
+                dev_busy_s=float(dev_busy[g]),
+                srv_busy_s=float(srv_busy[g]),
+                net_busy_s=float(net_busy[g]),
+            )
+        )
+    discarded = total - len(records)
+    n_off = int(np.count_nonzero(offloaded))
+    counters = SimCounters(
+        requests=total,
+        records=len(records),
+        discarded_warmup=discarded,
+        events=2 * (total - n_off) + 5 * n_off,
+        replications=1,
+    )
+    return records, discarded, counters

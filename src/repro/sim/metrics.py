@@ -9,8 +9,8 @@ runs, so the default path allocates nothing extra.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,6 +18,55 @@ from repro.errors import SimulationError
 from repro.sim.entities import RequestRecord
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timeline import Timeline
+
+
+@dataclass
+class SimCounters:
+    """Deterministic work counters of one (or several merged) simulation runs.
+
+    Mirrors :class:`~repro.profiling.counters.PerfCounters` for the
+    simulator: machine-independent counts that benchmarks and the perf gate
+    can assert on.  ``events`` is the number of event-loop callbacks the run
+    processed — the fast path reports the *equivalent* count
+    (``2·non-offloaded + 5·offloaded`` requests), which is exactly what the
+    event loop executes for the same workload, so the two paths stay
+    comparable and reports stay equal.
+    """
+
+    requests: int = 0
+    records: int = 0
+    discarded_warmup: int = 0
+    events: int = 0
+    replications: int = 0
+
+    def merge(self, other: "SimCounters") -> "SimCounters":
+        """Accumulate ``other`` into ``self`` (returns self for chaining)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @classmethod
+    def merged(cls, by_stream: Mapping[int, "SimCounters"]) -> "SimCounters":
+        """Order-independent merge of per-replication counters.
+
+        Replications record into their own instances keyed by replication
+        index; merging in sorted index order makes the result independent of
+        worker completion order, so serial and parallel fan-outs report
+        byte-identical counters.
+        """
+        out = cls()
+        for stream in sorted(by_stream):
+            out.merge(by_stream[stream])
+        return out
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-friendly snapshot (benchmark ``extra_info`` / gate payload)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def publish(self, registry: MetricsRegistry, prefix: str = "sim") -> None:
+        """Register these counts as ``{prefix}.{field}`` monotonic counters."""
+        for f in fields(self):
+            registry.counter(f"{prefix}.{f.name}").inc(getattr(self, f.name))
 
 
 @dataclass
@@ -83,6 +132,9 @@ class SimulationReport:
     timeline: Optional[Timeline] = None
     #: sampled gauges + realized-work counters (telemetry runs only, else None)
     registry: Optional[MetricsRegistry] = None
+    #: deterministic work counters (requests/records/events/replications);
+    #: identical between the event-loop and fast paths by construction
+    counters: SimCounters = field(default_factory=SimCounters)
 
     @classmethod
     def from_records(
@@ -171,3 +223,38 @@ class SimulationReport:
                 f"acc={s.accuracy:.3f} off={s.offload_fraction:.2f}"
             )
         return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[SimulationReport]) -> SimulationReport:
+    """Pool replication reports into one aggregate report.
+
+    Records are concatenated in replication order (the caller supplies
+    reports indexed by replication, so serial and parallel fan-outs merge
+    identically), per-task statistics are recomputed over the pooled
+    records, utilizations are averaged per resource, and counters merge
+    order-independently via :meth:`SimCounters.merged`.
+    """
+    if not reports:
+        raise SimulationError("nothing to merge")
+    if len(reports) == 1:
+        return reports[0]
+    horizon = reports[0].horizon_s
+    if any(r.horizon_s != horizon for r in reports):
+        raise SimulationError("cannot merge reports with different horizons")
+    records: List[RequestRecord] = []
+    for r in reports:
+        records.extend(r.records)
+    util_keys = list(reports[0].utilizations)
+    utils = {
+        k: float(np.mean([r.utilizations[k] for r in reports])) for k in util_keys
+    }
+    merged = SimulationReport.from_records(
+        records,
+        horizon,
+        utils,
+        discarded=sum(r.discarded_warmup for r in reports),
+    )
+    merged.counters = SimCounters.merged(
+        {i: r.counters for i, r in enumerate(reports)}
+    )
+    return merged

@@ -86,6 +86,44 @@ class FifoResource:
             self._observe(now, finish)
         return start, finish
 
+    def sweep(self, times: np.ndarray, amounts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch :meth:`submit` over jobs already in submission order.
+
+        Performs the identical float arithmetic and state updates as ``len(times)``
+        sequential :meth:`submit` calls — bit-for-bit, including the
+        zero-amount pass-through — in one lean recurrence loop.  Only valid
+        without a recorder (the event loop owns gauge sampling).
+        """
+        if self.recorder is not None:  # pragma: no cover - guarded by caller
+            raise SimulationError(f"{self.name}: sweep requires no recorder")
+        starts = np.empty(times.shape[0], dtype=np.float64)
+        finishes = np.empty(times.shape[0], dtype=np.float64)
+        busy = self._busy_until
+        busy_time = self.busy_time
+        jobs = self.jobs
+        rate = self.rate
+        overhead = self.overhead_s
+        for i, (now, amount) in enumerate(zip(times.tolist(), amounts.tolist())):
+            if amount < 0:
+                raise SimulationError(f"{self.name}: negative work {amount}")
+            if now < 0:
+                raise SimulationError(f"{self.name}: negative submit time")
+            if amount == 0:
+                starts[i] = now
+                finishes[i] = now
+                continue
+            start = busy if busy > now else now  # == max(now, busy)
+            service = amount / rate + overhead
+            busy = start + service
+            busy_time += service
+            jobs += 1
+            starts[i] = start
+            finishes[i] = busy
+        self._busy_until = busy
+        self.busy_time = busy_time
+        self.jobs = jobs
+        return starts, finishes
+
     def utilization(self, horizon_s: float) -> float:
         """Fraction of ``[0, horizon]`` this resource spent serving."""
         if horizon_s <= 0:
@@ -178,3 +216,42 @@ class LinkResource:
                     f"sim.utilization.{self.name}", now, min(1.0, self.busy_time / now)
                 )
         return start, serialized + self.rtt_s / 2.0
+
+    def sweep(self, times: np.ndarray, nbytes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch :meth:`submit` over transfers already in submission order.
+
+        Same float arithmetic and state updates as sequential :meth:`submit`
+        calls (including trace-segment integration via
+        :meth:`_serialization_finish`); returns (starts, deliveries).  Only
+        valid without a recorder.
+        """
+        if self.recorder is not None:  # pragma: no cover - guarded by caller
+            raise SimulationError(f"{self.name}: sweep requires no recorder")
+        starts = np.empty(times.shape[0], dtype=np.float64)
+        deliveries = np.empty(times.shape[0], dtype=np.float64)
+        busy = self._busy_until
+        busy_time = self.busy_time
+        transfers = self.transfers
+        half_rtt = self.rtt_s / 2.0
+        fixed_rate = None if self.trace is not None else self.bandwidth_bps * self.share
+        for i, (now, nb) in enumerate(zip(times.tolist(), nbytes.tolist())):
+            if nb < 0:
+                raise SimulationError(f"{self.name}: negative transfer {nb}")
+            if nb == 0:
+                starts[i] = now
+                deliveries[i] = now
+                continue
+            start = busy if busy > now else now  # == max(now, busy)
+            if fixed_rate is not None:
+                serialized = start + nb / fixed_rate
+            else:
+                serialized = self._serialization_finish(start, nb)
+            busy = serialized
+            busy_time += serialized - start
+            transfers += 1
+            starts[i] = start
+            deliveries[i] = serialized + half_rtt
+        self._busy_until = busy
+        self.busy_time = busy_time
+        self.transfers = transfers
+        return starts, deliveries

@@ -15,31 +15,44 @@ Arrivals default to Poisson at each task's rate; per-request difficulties
 come from each model's difficulty distribution.  A
 :class:`~repro.network.wireless.BandwidthTrace` makes every link time-varying
 (experiment E11).
+
+Two execution engines produce **bit-identical** reports on a fixed seed:
+
+- the **fast path** (default): all stochastic realization is pre-generated
+  as arrays and the FIFO pipeline is swept per resource in the event loop's
+  exact submission order (:mod:`repro.sim.fastpath`);
+- the **event loop**: the reference discrete-event engine, used whenever a
+  telemetry recorder is attached (gauges sample on event boundaries) or
+  ``fast_path=False`` forces it.
+
+Replications fan out deterministically via :func:`run_replications`:
+replication 0 runs ``cfg.seed`` unchanged (so one replication reproduces a
+plain :func:`simulate_plan`), replication ``r`` runs the derived seed
+``derive_seed(cfg.seed, "replication", r)`` — identical per-replication
+reports whether executed serially or on ``sim_workers`` processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.plan import JointPlan, TaskSpec
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, ReproError, SimulationError
 from repro.network.wireless import BandwidthTrace
-from repro.rng import SeedLike, as_generator, derive
+from repro.rng import derive, derive_from, derive_material, derive_seed
 from repro.sim.engine import Simulator
 from repro.sim.entities import Request, RequestRecord
 from repro.sim.execution import realize_request
-from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.fastpath import sweep_pipeline
+from repro.sim.metrics import MetricsCollector, SimCounters, SimulationReport
 from repro.sim.queues import FifoResource, LinkResource
-from repro.sim.sources import (
-    DeterministicArrivals,
-    MMPPArrivals,
-    PoissonArrivals,
-)
+from repro.sim.sources import arrival_times
 from repro.telemetry.timeline import TimelineRecorder
 
 _ARRIVALS = {"poisson", "deterministic", "mmpp"}
@@ -59,6 +72,13 @@ class SimulationConfig:
     #: record per-request event timelines + queue/utilization gauges into
     #: ``SimulationReport.timeline`` / ``.registry`` (off by default)
     telemetry: bool = False
+    #: use the vectorized pipeline sweep when eligible (bit-identical to the
+    #: event loop); set False to force the reference event loop
+    fast_path: bool = True
+    #: independent replications to run (see :func:`run_replications`)
+    replications: int = 1
+    #: worker processes for replication fan-out (1 = serial)
+    sim_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -69,54 +89,26 @@ class SimulationConfig:
             raise ConfigError(f"arrival must be one of {_ARRIVALS}, got {self.arrival}")
         if self.burst_factor < 1.0:
             raise ConfigError("burst_factor must be >= 1")
+        if self.replications < 1:
+            raise ConfigError("replications must be >= 1")
+        if self.sim_workers < 1:
+            raise ConfigError("sim_workers must be >= 1")
 
 
-def _arrival_times(task: TaskSpec, cfg: SimulationConfig, seed: SeedLike) -> np.ndarray:
-    if cfg.arrival == "poisson":
-        return PoissonArrivals(task.arrival_rate).generate(cfg.horizon_s, seed)
-    if cfg.arrival == "deterministic":
-        return DeterministicArrivals(task.arrival_rate).generate(cfg.horizon_s, seed)
-    # MMPP with the same mean rate: solve low so that mean == task rate
-    high = task.arrival_rate * cfg.burst_factor
-    mean_low_s, mean_high_s = 5.0, 1.0
-    low = (
-        task.arrival_rate * (mean_low_s + mean_high_s) - high * mean_high_s
-    ) / mean_low_s
-    low = max(low, task.arrival_rate * 0.05)
-    return MMPPArrivals(low, high, mean_low_s, mean_high_s).generate(cfg.horizon_s, seed)
-
-
-def simulate_plan(
+def _build_resources(
     tasks: Sequence[TaskSpec],
     plan: JointPlan,
     cluster: EdgeCluster,
-    config: Optional[SimulationConfig] = None,
-    latency_model: Optional[LatencyModel] = None,
-    recorder: Optional[TimelineRecorder] = None,
-) -> SimulationReport:
-    """Replay ``plan`` under stochastic load; return measured statistics.
-
-    With ``config.telemetry`` (or an explicit ``recorder``), every request's
-    lifecycle (enqueue → dequeue → exec-start → transfer → exit-taken →
-    complete) lands in ``report.timeline`` and queue-depth / utilization
-    gauges sampled on event boundaries land in ``report.registry``.
-    """
-    cfg = config or SimulationConfig()
-    lm = latency_model or LatencyModel()
-    if not tasks:
-        raise ConfigError("no tasks to simulate")
-    for t in tasks:
-        if t.name not in plan.features:
-            raise ConfigError(f"plan has no entry for task {t.name!r}")
-
-    rec = recorder if recorder is not None else (TimelineRecorder() if cfg.telemetry else None)
-    reg = rec.registry if rec is not None else None
-    sim = Simulator()
-    if rec is not None:
-        sim.on_event = lambda now, pending: rec.sample("sim.pending_events", now, pending)
-    metrics = MetricsCollector(warmup_s=cfg.warmup_s)
-
-    # -- resources -------------------------------------------------------------
+    lm: LatencyModel,
+    cfg: SimulationConfig,
+    rec: Optional[TimelineRecorder],
+) -> Tuple[
+    Dict[str, FifoResource],
+    Dict[str, FifoResource],
+    Dict[str, LinkResource],
+    Dict[str, LinkResource],
+]:
+    """FIFO resources of one run: shared devices + per-task server/link slices."""
     device_res: Dict[str, FifoResource] = {}
     for d in cluster.end_devices:
         device_res[d.name] = FifoResource(
@@ -147,12 +139,77 @@ def simulate_plan(
                 trace=cfg.bandwidth_trace,
                 recorder=rec,
             )
+    return device_res, task_server_res, task_uplink_res, task_downlink_res
+
+
+def _utilizations(
+    device_res: Dict[str, FifoResource],
+    task_server_res: Dict[str, FifoResource],
+    horizon_s: float,
+) -> Dict[str, float]:
+    utils = {r.name: r.utilization(horizon_s) for r in device_res.values()}
+    for r in task_server_res.values():
+        utils[r.name] = r.utilization(horizon_s)
+    return utils
+
+
+def simulate_plan(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cluster: EdgeCluster,
+    config: Optional[SimulationConfig] = None,
+    latency_model: Optional[LatencyModel] = None,
+    recorder: Optional[TimelineRecorder] = None,
+) -> SimulationReport:
+    """Replay ``plan`` under stochastic load; return measured statistics.
+
+    With ``config.telemetry`` (or an explicit ``recorder``), every request's
+    lifecycle (enqueue → dequeue → exec-start → transfer → exit-taken →
+    complete) lands in ``report.timeline`` and queue-depth / utilization
+    gauges sampled on event boundaries land in ``report.registry``; such runs
+    always use the event loop.  Otherwise ``config.fast_path`` (default)
+    selects the vectorized sweep, which is bit-identical on a fixed seed.
+    """
+    cfg = config or SimulationConfig()
+    lm = latency_model or LatencyModel()
+    if not tasks:
+        raise ConfigError("no tasks to simulate")
+    for t in tasks:
+        if t.name not in plan.features:
+            raise ConfigError(f"plan has no entry for task {t.name!r}")
+
+    rec = recorder if recorder is not None else (TimelineRecorder() if cfg.telemetry else None)
+    resources = _build_resources(tasks, plan, cluster, lm, cfg, rec)
+    device_res, task_server_res, task_uplink_res, task_downlink_res = resources
+
+    if rec is None and cfg.fast_path:
+        records, discarded, counters = sweep_pipeline(
+            tasks, plan, cfg,
+            device_res, task_server_res, task_uplink_res, task_downlink_res,
+        )
+        report = SimulationReport.from_records(
+            records,
+            cfg.horizon_s,
+            _utilizations(device_res, task_server_res, cfg.horizon_s),
+            discarded=discarded,
+        )
+        report.counters = counters
+        return report
+
+    reg = rec.registry if rec is not None else None
+    sim = Simulator()
+    if rec is not None:
+        sim.on_event = lambda now, pending: rec.sample("sim.pending_events", now, pending)
+    metrics = MetricsCollector(warmup_s=cfg.warmup_s)
+    # per-task child-seed prefix, cached so each request extends it with its
+    # id instead of re-hashing the task tokens (identical derived streams)
+    exec_material = {t.name: derive_material(cfg.seed, "exec", t.name) for t in tasks}
 
     # -- request lifecycle -------------------------------------------------------
     def launch(task: TaskSpec, req: Request) -> None:
         model = task.model
         feats = plan.features[task.name]
-        rng = derive(cfg.seed, "exec", task.name, req.req_id)
+        rng = derive_from(exec_material[task.name], req.req_id)
         demand = realize_request(model, feats.plan, req.difficulty, rng, metrics=reg)
         dres = device_res[task.device_name]
 
@@ -224,7 +281,10 @@ def simulate_plan(
     # -- arrivals -------------------------------------------------------------
     total = 0
     for t in tasks:
-        times = _arrival_times(t, cfg, derive(cfg.seed, "arrivals", t.name))
+        times = arrival_times(
+            t.arrival_rate, cfg.horizon_s, cfg.arrival, cfg.burst_factor,
+            derive(cfg.seed, "arrivals", t.name),
+        )
         diff_rng = derive(cfg.seed, "difficulty", t.name)
         difficulties = t.model.difficulty.sample(diff_rng, times.size)
         for i, (at, d) in enumerate(zip(times, difficulties)):
@@ -242,12 +302,62 @@ def simulate_plan(
 
     sim.run()  # drain everything (all arrivals are bounded by the horizon)
 
-    utils = {r.name: r.utilization(cfg.horizon_s) for r in device_res.values()}
-    for r in task_server_res.values():
-        utils[r.name] = r.utilization(cfg.horizon_s)
-    return metrics.report(
+    report = metrics.report(
         cfg.horizon_s,
-        utils,
+        _utilizations(device_res, task_server_res, cfg.horizon_s),
         timeline=rec.timeline if rec is not None else None,
         registry=reg,
     )
+    report.counters = SimCounters(
+        requests=total,
+        records=len(metrics.records),
+        discarded_warmup=metrics.discarded,
+        events=sim.events_processed,
+        replications=1,
+    )
+    if reg is not None:
+        report.counters.publish(reg)
+    return report
+
+
+def _replication_config(cfg: SimulationConfig, rep: int) -> SimulationConfig:
+    """Per-replication config: replication 0 keeps ``cfg.seed`` verbatim."""
+    seed = cfg.seed if rep == 0 else derive_seed(cfg.seed, "replication", rep)
+    return replace(cfg, seed=seed, replications=1, sim_workers=1)
+
+
+def _replication_worker(args) -> SimulationReport:
+    tasks, plan, cluster, cfg, latency_model = args
+    return simulate_plan(tasks, plan, cluster, cfg, latency_model)
+
+
+def run_replications(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cluster: EdgeCluster,
+    config: SimulationConfig,
+    latency_model: Optional[LatencyModel] = None,
+) -> List[SimulationReport]:
+    """Run ``config.replications`` independent simulations, optionally parallel.
+
+    Replication ``r`` uses the derived seed stream
+    ``derive_seed(config.seed, "replication", r)`` (replication 0 keeps the
+    base seed, so a single replication reproduces :func:`simulate_plan`
+    byte-for-byte).  With ``sim_workers > 1`` replications fan out over a
+    process pool — results are collected by replication index, so the report
+    list is identical to a serial run regardless of completion order.
+    Telemetry runs stay serial: recorders hold per-process state that cannot
+    cross the pool boundary.
+    """
+    cfgs = [_replication_config(config, r) for r in range(config.replications)]
+    jobs = [(tasks, plan, cluster, c, latency_model) for c in cfgs]
+    workers = min(config.sim_workers, len(jobs))
+    if workers > 1 and not config.telemetry and len(jobs) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_replication_worker, jobs))
+        except ReproError:
+            raise  # a replication genuinely failed; don't mask it by retrying
+        except Exception:
+            pass  # pool unavailable (pickling, sandboxing): fall back to serial
+    return [_replication_worker(j) for j in jobs]

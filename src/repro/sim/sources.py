@@ -113,6 +113,33 @@ class MMPPArrivals:
         return np.array(out)
 
 
+def arrival_times(
+    rate: float,
+    horizon_s: float,
+    arrival: str = "poisson",
+    burst_factor: float = 4.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Arrival-time vector for one request stream of mean ``rate``.
+
+    Shared by the event-loop and fast-path simulators so both consume the
+    exact same draws from ``seed``.  ``arrival`` selects the process; for
+    ``"mmpp"`` the low rate is solved so the long-run mean matches ``rate``
+    at a high phase of ``burst_factor × rate``.
+    """
+    if arrival == "poisson":
+        return PoissonArrivals(rate).generate(horizon_s, seed)
+    if arrival == "deterministic":
+        return DeterministicArrivals(rate).generate(horizon_s, seed)
+    if arrival != "mmpp":
+        raise ConfigError(f"unknown arrival process {arrival!r}")
+    high = rate * burst_factor
+    mean_low_s, mean_high_s = 5.0, 1.0
+    low = (rate * (mean_low_s + mean_high_s) - high * mean_high_s) / mean_low_s
+    low = max(low, rate * 0.05)
+    return MMPPArrivals(low, high, mean_low_s, mean_high_s).generate(horizon_s, seed)
+
+
 @dataclass(frozen=True)
 class TraceArrivals:
     """Replay explicit arrival timestamps (strictly increasing)."""
