@@ -1,0 +1,91 @@
+"""P3 micro-bench: the failure-aware runtime (E16's machinery in isolation).
+
+Two attributable measurements on a smart_city x 16-task workload:
+
+- the fault-free event loop with the fault subsystem present — its wall
+  time funds the <= 2% overhead budget CI gates (`perf_gate.py --suite sim
+  --check-overhead`), so this bench also re-asserts bit-identity against
+  the fast path (the subsystem must be invisible when no schedule is set);
+- a crash-recover fault run under the full recovery ladder — the shape
+  assertion is E16's headline: the policy loses nothing while the
+  no-policy run loses every stranded request.
+"""
+
+from dataclasses import replace
+from time import perf_counter
+
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer
+from repro.faults import FailurePolicy, FaultSchedule
+from repro.sim import SimulationConfig
+from repro.sim.runner import simulate_plan
+from repro.workloads.scenarios import build_scenario
+
+_WORKLOAD = {}
+
+
+def _workload():
+    """smart_city x 16 tasks + its joint plan, built once per session."""
+    if not _WORKLOAD:
+        cluster, tasks = build_scenario("smart_city", num_tasks=16, seed=0)
+        cands = [build_candidates(t) for t in tasks]
+        plan = JointOptimizer(cluster).solve(tasks, candidates=cands, seed=0).plan
+        _WORKLOAD["built"] = (tasks, plan, cluster)
+    return _WORKLOAD["built"]
+
+
+def _reports_equal(a, b) -> bool:
+    return (
+        a.records == b.records
+        and a.utilizations == b.utilizations
+        and a.discarded_warmup == b.discarded_warmup
+        and a.counters == b.counters
+    )
+
+
+def test_faultfree_event_loop_unchanged(benchmark):
+    """Fault-free event loop (the overhead-gated path) stays bit-identical."""
+    tasks, plan, cluster = _workload()
+    cfg = SimulationConfig(horizon_s=20.0, warmup_s=2.0, seed=0)
+
+    fast_report = simulate_plan(tasks, plan, cluster, cfg)
+    event_report = benchmark(
+        lambda: simulate_plan(tasks, plan, cluster, replace(cfg, fast_path=False))
+    )
+
+    assert _reports_equal(fast_report, event_report)
+    assert event_report.counters.faults_injected == 0
+    assert event_report.counters.lost == 0
+    benchmark.extra_info["counters"] = event_report.counters.as_dict()
+
+
+def test_crash_recover_with_policy(benchmark):
+    """Recovery-ladder run: no losses, and the chaos replay is deterministic."""
+    tasks, plan, cluster = _workload()
+    schedule = FaultSchedule.crash_recover(
+        cluster.servers[0].name, crash_s=6.0, down_s=6.0
+    )
+    cfg = SimulationConfig(
+        horizon_s=20.0,
+        warmup_s=2.0,
+        seed=0,
+        faults=schedule,
+        failure_policy=FailurePolicy(),
+    )
+
+    t0 = perf_counter()
+    nopolicy = simulate_plan(
+        tasks, plan, cluster, replace(cfg, failure_policy=None)
+    )
+    nopolicy_s = perf_counter() - t0
+
+    report = benchmark(lambda: simulate_plan(tasks, plan, cluster, cfg))
+
+    assert nopolicy.counters.lost > 0
+    assert report.counters.lost == 0
+    assert report.counters.failovers + report.counters.retries > 0
+    assert report.counters.conserved()
+    replay = simulate_plan(tasks, plan, cluster, cfg)
+    assert _reports_equal(report, replay)
+    benchmark.extra_info["nopolicy_s"] = nopolicy_s
+    benchmark.extra_info["counters"] = report.counters.as_dict()

@@ -1,35 +1,50 @@
 #!/usr/bin/env python
-"""Run every experiment (E1-E14) and dump the tables to stdout.
+"""Run every experiment (E1-E16) and dump the tables to stdout.
 
 Used to regenerate the measured sections of EXPERIMENTS.md:
 
     python scripts/run_all_experiments.py > /tmp/experiments_raw.txt
 
-``--jobs N`` fans the experiments out over N worker processes
-(``concurrent.futures``); results are printed in experiment order either
-way, so the output is byte-identical to a serial run apart from timings.
-A worker failure is reported with the failing experiment's ID and its full
-child-process traceback, and the run exits non-zero after printing every
-successful table.
+``--jobs N`` fans the experiments out over N workers; results are printed
+in experiment order either way, so the output is byte-identical to a
+serial run apart from timings.
+
+Failures are typed (:class:`ExperimentError`): a ``repro`` failure is a
+deterministic domain error (bad config, infeasible instance) and is
+reported immediately; ``timeout``, ``crash`` and ``unexpected`` failures
+are treated as possibly transient and get exactly one retry before the
+run gives up on that experiment.  The run exits non-zero after printing
+every successful table and a per-failure report with the failing
+experiment's ID, failure kind, and child traceback.
+
+``--timeout S`` bounds each experiment's wall clock: the experiment runs
+in its own child process and is terminated (then killed) when the budget
+expires.  Without ``--timeout`` and with ``--jobs 1`` experiments run
+in-process, exactly as before.
 
 ``--telemetry-dir DIR`` additionally runs each experiment with tracing
 enabled and writes ``DIR/<EID>.trace.json`` (Perfetto-loadable) and
 ``DIR/<EID>.metrics.jsonl`` per experiment.
 
 ``--sim-replications N`` runs every simulator-backed experiment (E4, E5,
-E6, E11, E12, E14, E15, A4) with N independent replications per measured
-point, fanned out over ``--sim-workers`` processes; reported statistics
-pool all replications.  Defaults (1/1) reproduce single-run outputs.
+E6, E11, E12, E14, E15, E16, A4) with N independent replications per
+measured point, fanned out over ``--sim-workers`` processes; reported
+statistics pool all replications.  Defaults (1/1) reproduce single-run
+outputs.
 """
 
 import argparse
+import dataclasses
 import functools
+import multiprocessing as mp
 import sys
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from typing import Optional
 
+from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
 
 #: Benchmark-sized knobs per experiment (defaults elsewhere).
@@ -42,12 +57,39 @@ KNOBS = {
     "E12": dict(horizon_s=15.0),
     "E14": dict(horizon_s=40.0),
     "E15": dict(horizon_s=15.0),
+    "E16": dict(horizon_s=15.0),
     "A4": dict(loads=(8, 24), horizon_s=15.0),
 }
 
 #: Experiments that replay plans through the simulator and accept
 #: ``replications`` / ``sim_workers`` knobs.
-SIM_EXPERIMENTS = ("E4", "E5", "E6", "E11", "E12", "E14", "E15", "A4")
+SIM_EXPERIMENTS = ("E4", "E5", "E6", "E11", "E12", "E14", "E15", "E16", "A4")
+
+#: Failure kinds that may be transient and earn one retry.  ``repro``
+#: failures are deterministic domain errors: retrying cannot help.
+RETRIABLE_KINDS = ("timeout", "crash", "unexpected")
+
+
+@dataclasses.dataclass
+class ExperimentError:
+    """A typed experiment failure.
+
+    ``kind`` is one of ``repro`` (deterministic domain error — a
+    :class:`repro.errors.ReproError`), ``timeout`` (wall-clock budget
+    exceeded, child terminated), ``crash`` (child died without
+    reporting), or ``unexpected`` (any other exception).
+    """
+
+    eid: str
+    kind: str
+    message: str
+    detail: str = ""
+
+    def format(self) -> str:
+        out = f"experiment {self.eid} FAILED [{self.kind}]: {self.message}"
+        if self.detail:
+            out += f"\n{self.detail}"
+        return out
 
 
 def _with_sim_knobs(eid: str, replications: int, sim_workers: int) -> dict:
@@ -60,11 +102,11 @@ def _with_sim_knobs(eid: str, replications: int, sim_workers: int) -> dict:
 
 def _run_one(eid: str, telemetry_dir: str = "", sim_replications: int = 1,
              sim_workers: int = 1) -> tuple:
-    """Worker entry point (module-level so it pickles for process pools).
+    """Run one experiment in the current process.
 
-    Returns ``(eid, seconds, formatted_table_or_None, error_or_None)`` — the
-    error is the full traceback string so parent processes can report child
-    failures with the experiment that caused them.
+    Returns ``(eid, seconds, formatted_table_or_None, error_or_None)``
+    where the error is an :class:`ExperimentError` carrying the failure
+    kind and the full traceback.
     """
     t0 = time.time()
     knobs = _with_sim_knobs(eid, sim_replications, sim_workers)
@@ -92,9 +134,74 @@ def _run_one(eid: str, telemetry_dir: str = "", sim_replications: int = 1,
             registry.export_jsonl(str(out / f"{eid}.metrics.jsonl"))
         else:
             result = run_experiment(eid, **knobs)
-    except Exception:
-        return eid, time.time() - t0, None, traceback.format_exc()
+    except ReproError as e:
+        err = ExperimentError(eid, "repro", str(e), traceback.format_exc())
+        return eid, time.time() - t0, None, err
+    except Exception as e:
+        err = ExperimentError(
+            eid, "unexpected", f"{type(e).__name__}: {e}", traceback.format_exc()
+        )
+        return eid, time.time() - t0, None, err
     return eid, time.time() - t0, result.format(), None
+
+
+def _child_entry(conn, eid: str, **kwargs) -> None:
+    """Child-process entry: run the experiment, ship the result back."""
+    try:
+        conn.send(_run_one(eid, **kwargs))
+    finally:
+        conn.close()
+
+
+def _run_in_child(eid: str, timeout_s: float, **kwargs) -> tuple:
+    """Run one experiment in a dedicated child process with a wall-clock cap.
+
+    On timeout the child is terminated (killed if it ignores SIGTERM); a
+    child that dies without reporting becomes a ``crash`` failure.
+    """
+    t0 = time.time()
+    recv, send = mp.Pipe(duplex=False)
+    proc = mp.Process(target=_child_entry, args=(send, eid), kwargs=kwargs)
+    proc.start()
+    send.close()
+    budget = timeout_s if timeout_s > 0 else None
+    if recv.poll(budget):
+        try:
+            result = recv.recv()
+        except EOFError:
+            result = None
+        proc.join()
+        if result is not None:
+            return result
+        err = ExperimentError(
+            eid, "crash", f"child process died (exit code {proc.exitcode})"
+        )
+        return eid, time.time() - t0, None, err
+    proc.terminate()
+    proc.join(timeout=5.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+    err = ExperimentError(eid, "timeout", f"exceeded {timeout_s:.0f}s wall clock")
+    return eid, time.time() - t0, None, err
+
+
+def _run_guarded(eid: str, timeout_s: float = 0.0, isolate: bool = False,
+                 **kwargs) -> tuple:
+    """Run one experiment with retry: one extra attempt for transient kinds."""
+    for attempt in range(2):
+        if isolate or timeout_s > 0:
+            out = _run_in_child(eid, timeout_s, **kwargs)
+        else:
+            out = _run_one(eid, **kwargs)
+        err = out[3]
+        if err is None or err.kind not in RETRIABLE_KINDS or attempt == 1:
+            return out
+        print(
+            f"experiment {eid} attempt 1 failed [{err.kind}]; retrying once",
+            file=sys.stderr,
+        )
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def main() -> int:
@@ -103,7 +210,13 @@ def main() -> int:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for experiment fan-out (default: serial)",
+        help="concurrent experiments (each in its own child process)",
+    )
+    ap.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="per-experiment wall-clock budget in seconds (0 = unlimited)",
     )
     ap.add_argument(
         "--telemetry-dir",
@@ -125,11 +238,15 @@ def main() -> int:
     args = ap.parse_args()
     if args.jobs < 1:
         ap.error("--jobs must be >= 1")
+    if args.timeout < 0:
+        ap.error("--timeout must be >= 0")
     if args.sim_replications < 1 or args.sim_workers < 1:
         ap.error("--sim-replications and --sim-workers must be >= 1")
     order = sorted(EXPERIMENTS, key=lambda e: (e[0], int(e[1:])))
     worker = functools.partial(
-        _run_one,
+        _run_guarded,
+        timeout_s=args.timeout,
+        isolate=args.jobs > 1,
         telemetry_dir=args.telemetry_dir,
         sim_replications=args.sim_replications,
         sim_workers=args.sim_workers,
@@ -137,21 +254,23 @@ def main() -> int:
     if args.jobs == 1:
         outputs = map(worker, order)
     else:
-        # processes, not threads: the experiments are CPU-bound Python
-        pool = ProcessPoolExecutor(max_workers=args.jobs)
+        # threads in the parent, one child process per experiment: the
+        # children do the CPU work, and the parent can terminate a child
+        # that blows its --timeout budget (a process pool cannot).
+        pool = ThreadPoolExecutor(max_workers=args.jobs)
         outputs = pool.map(worker, order)
     failures = []
     for eid, took, table, error in outputs:
         if error is not None:
-            failures.append((eid, error))
+            failures.append(error)
             continue
         print(f"\n<<<{eid} ({took:.1f}s)>>>")
         print(table)
-    for eid, error in failures:
-        print(f"\nexperiment {eid} FAILED:\n{error}", file=sys.stderr)
+    for error in failures:
+        print(f"\n{error.format()}", file=sys.stderr)
     if failures:
-        ids = ", ".join(eid for eid, _ in failures)
-        print(f"{len(failures)} experiment(s) failed: {ids}", file=sys.stderr)
+        by_kind = ", ".join(f"{e.eid} [{e.kind}]" for e in failures)
+        print(f"{len(failures)} experiment(s) failed: {by_kind}", file=sys.stderr)
         return 1
     return 0
 

@@ -7,7 +7,9 @@ Commands:
 - ``solve`` — build a scenario, run the joint optimizer, print (and
   optionally save) the plan;
 - ``simulate`` — solve then replay under Poisson load in the simulator;
-- ``experiment ID`` — regenerate one table/figure (E1–E14);
+- ``experiment ID`` — regenerate one table/figure (E1–E16);
+- ``chaos`` — replay a scenario under a seed-sampled fault schedule, with
+  and without the failure-recovery policy ladder;
 - ``trace TARGET`` — run a scenario solve (or an experiment) with telemetry
   enabled, write a Perfetto-loadable ``trace.json`` + ``metrics.jsonl``, and
   print the solver phase breakdown.
@@ -186,6 +188,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults import FailurePolicy, sample_fault_schedule
+
+    cluster, tasks = build_scenario(
+        args.scenario, num_tasks=args.tasks, num_servers=args.servers, seed=args.seed
+    )
+    result = JointOptimizer(cluster).solve(tasks, seed=args.seed)
+    plan = result.plan
+    print(plan.summary())
+    schedule = sample_fault_schedule(
+        args.seed,
+        args.horizon,
+        [s.name for s in cluster.servers],
+        [t.name for t in tasks],
+        crash_rate_per_min=args.crash_rate,
+        mean_down_s=args.mean_down,
+        loss_prob=args.loss,
+    )
+    print(f"\nsampled fault schedule ({len(schedule)} events, seed={args.seed}):")
+    for e in schedule:
+        end = "inf" if e.permanent else f"{e.end_s:.2f}"
+        print(f"  {e.kind:>15s} {e.target:<12s} [{e.start_s:.2f}, {end})s "
+              f"severity={e.severity:.2f}")
+    base = SimulationConfig(
+        horizon_s=args.horizon,
+        warmup_s=min(args.horizon / 5, 5.0),
+        seed=args.seed,
+        faults=schedule,
+    )
+    policy = FailurePolicy(stage_timeout_s=args.timeout, max_retries=args.retries)
+    rows = []
+    for name, cfg in (
+        ("no-policy", base),
+        ("policy", dataclasses.replace(base, failure_policy=policy)),
+    ):
+        rep = simulate_plan(tasks, plan, cluster, cfg)
+        c = rep.counters
+        rows.append(
+            (name, c.records, c.lost, c.degraded_completions, c.failovers,
+             c.retries, rep.mean_latency_s * 1e3, rep.percentile_latency_s(99) * 1e3,
+             rep.miss_rate * 100)
+        )
+    print()
+    print(
+        format_table(
+            ["mode", "completed", "lost", "degraded", "failovers", "retries",
+             "mean_ms", "p99_ms", "miss_%"],
+            rows,
+            title=f"chaos replay ({args.scenario}, {args.horizon:.0f}s horizon)",
+        )
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id)
     print(result.format())
@@ -262,7 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=10.0, help="sim seconds")
     p.set_defaults(fn=_cmd_trace)
 
-    p = sub.add_parser("experiment", help="regenerate one experiment (E1-E14)")
+    p = sub.add_parser(
+        "chaos",
+        help="replay a scenario under a sampled fault schedule, with and "
+        "without the recovery-policy ladder",
+    )
+    p.add_argument("--scenario", choices=sorted(SCENARIOS), default="smart_city")
+    p.add_argument("--tasks", type=int, default=6)
+    p.add_argument("--servers", type=int, default=None)
+    p.add_argument("--horizon", type=float, default=20.0, help="sim seconds")
+    p.add_argument(
+        "--crash-rate", type=float, default=2.0, help="server crashes per minute"
+    )
+    p.add_argument(
+        "--mean-down", type=float, default=3.0, help="mean outage length, seconds"
+    )
+    p.add_argument(
+        "--loss", type=float, default=0.0,
+        help="request-loss probability during the mid-horizon loss window",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=0.25, help="per-stage timeout, seconds"
+    )
+    p.add_argument("--retries", type=int, default=2, help="retry budget per request")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("experiment", help="regenerate one experiment (E1-E16)")
     p.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
     p.add_argument("--output", help="write the tables as JSON")
     p.set_defaults(fn=_cmd_experiment)

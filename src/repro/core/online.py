@@ -45,11 +45,16 @@ class EnvironmentSample:
     ``bandwidth_bps`` maps (device_name, server_name) -> measured capacity;
     pairs omitted keep their previous value.  ``arrival_rates`` maps task
     name -> measured request rate; omitted tasks keep their spec rate.
+    ``server_down`` / ``server_up`` report edge-server liveness transitions
+    (health-check outcomes): a newly-down server that carries assigned tasks
+    triggers an *immediate* plan repair, bypassing drift hysteresis.
     """
 
     time_s: float
     bandwidth_bps: Dict[Tuple[str, str], float] = field(default_factory=dict)
     arrival_rates: Dict[str, float] = field(default_factory=dict)
+    server_down: Tuple[str, ...] = ()
+    server_up: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
@@ -60,6 +65,9 @@ class EnvironmentSample:
         for name, rate in self.arrival_rates.items():
             if rate <= 0:
                 raise ConfigError(f"non-positive arrival rate for {name}")
+        overlap = set(self.server_down) & set(self.server_up)
+        if overlap:
+            raise ConfigError(f"servers both down and up in one sample: {overlap}")
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,10 @@ class ControllerConfig:
 
     replan_threshold: float = 0.3
     min_replan_interval_s: float = 1.0
+    #: when a re-solve leaves deadline violations (e.g. survivors of a server
+    #: failure are overloaded), route the task set through admission control
+    #: and shed the rejected tasks (exposed via ``OnlineController.shed_tasks``)
+    shed_on_overload: bool = False
 
     def __post_init__(self) -> None:
         if self.replan_threshold < 0:
@@ -125,6 +137,9 @@ class OnlineController:
             k: l.bandwidth_bps for k, l in cluster.topology.links.items()
         }
         self._rates: Dict[str, float] = {t.name: t.arrival_rate for t in tasks}
+        self._down_servers: set = set()
+        #: tasks shed by the latest overload-repair solve (empty otherwise)
+        self.shed_tasks: Tuple[str, ...] = ()
         # solved-against snapshots
         self._solved_bandwidth: Dict[Tuple[str, str], float] = {}
         self._solved_rates: Dict[str, float] = {}
@@ -143,15 +158,34 @@ class OnlineController:
     def replan_count(self) -> int:
         return sum(e.replanned for e in self.events) - 1  # exclude initial
 
+    @property
+    def down_servers(self) -> Tuple[str, ...]:
+        """Servers currently believed down, sorted."""
+        return tuple(sorted(self._down_servers))
+
     def current_cluster(self) -> EdgeCluster:
-        """The cluster patched with the latest observed bandwidths."""
+        """The cluster patched with observed bandwidths, minus down servers.
+
+        Raises :class:`~repro.errors.ConfigError` when every server is down —
+        there is nothing left to re-plan over (callers should fall back to
+        fully local operation).
+        """
         topo = self._base_cluster.topology
+        surviving = [
+            s for s in self._base_cluster.servers if s.name not in self._down_servers
+        ]
+        if not surviving:
+            raise ConfigError("all edge servers are down; nothing to re-plan over")
+        alive = {s.name for s in surviving}
         links = {
             k: Link(self._bandwidth[k], rtt_s=l.rtt_s, name=l.name)
             for k, l in topo.links.items()
+            if k[1] in alive
         }
-        return self._base_cluster.with_topology(
-            StarTopology(list(topo.device_names), list(topo.server_names), links)
+        return EdgeCluster(
+            list(self._base_cluster.end_devices),
+            surviving,
+            StarTopology(list(topo.device_names), [s.name for s in surviving], links),
         )
 
     def current_tasks(self) -> List[TaskSpec]:
@@ -162,7 +196,14 @@ class OnlineController:
         ]
 
     def observe(self, sample: EnvironmentSample) -> bool:
-        """Ingest one environment sample; returns True if a re-plan fired."""
+        """Ingest one environment sample; returns True if a re-plan fired.
+
+        Bandwidth/arrival drift goes through the thresholded, hysteresis-
+        protected trigger.  A server-liveness transition does not: a newly
+        down server carrying assigned tasks strands their offload path, so
+        the repair solve fires immediately regardless of how recently the
+        controller re-planned.
+        """
         for pair, bw in sample.bandwidth_bps.items():
             if pair not in self._bandwidth:
                 raise ConfigError(f"sample references unknown link {pair}")
@@ -171,8 +212,37 @@ class OnlineController:
             if name not in self._rates:
                 raise ConfigError(f"sample references unknown task {name!r}")
             self._rates[name] = rate
+        known = {s.name for s in self._base_cluster.servers}
+        newly_down: List[str] = []
+        for name in sample.server_down:
+            if name not in known:
+                raise ConfigError(f"sample references unknown server {name!r}")
+            if name not in self._down_servers:
+                self._down_servers.add(name)
+                newly_down.append(name)
+        recovered: List[str] = []
+        for name in sample.server_up:
+            if name not in known:
+                raise ConfigError(f"sample references unknown server {name!r}")
+            if name in self._down_servers:
+                self._down_servers.remove(name)
+                recovered.append(name)
+
+        stranded = sorted(
+            t
+            for t, s in self._plan.assignment.items()
+            if s is not None and self._base_cluster.servers[s].name in newly_down
+        )
+        if stranded:
+            self._plan = self._solve(
+                sample.time_s,
+                f"server failure {sorted(newly_down)} strands {stranded}",
+            )
+            return True
 
         reason = self._drift_reason()
+        if reason is None and recovered:
+            reason = f"server recovery {sorted(recovered)}"
         if reason is None:
             self.events.append(
                 ControllerEvent(sample.time_s, False, "within threshold", self._plan.objective_value)
@@ -185,6 +255,17 @@ class OnlineController:
             return False
         self._plan = self._solve(sample.time_s, reason)
         return True
+
+    def repair_update(self, time_s: float):
+        """Package the active plan as a :class:`~repro.faults.policy.PlanUpdate`.
+
+        The failure-aware simulator applies the update to arrivals from
+        ``time_s`` onward; tasks shed by the latest overload repair ride
+        along so the runtime drops them at admission.
+        """
+        from repro.faults.policy import PlanUpdate
+
+        return PlanUpdate(time_s=time_s, plan=self._plan, shed_tasks=self.shed_tasks)
 
     # -- internals -----------------------------------------------------------
 
@@ -200,6 +281,25 @@ class OnlineController:
                 return f"arrival drift on {name}: {ref:.3g} -> {rate:.3g} req/s"
         return None
 
+    def _remap_servers(self, plan: JointPlan, cluster: EdgeCluster) -> JointPlan:
+        """Translate ``plan``'s server indices from ``cluster`` (the surviving
+        sub-cluster solved over) back to base-cluster indexing, which is what
+        every consumer of :attr:`plan` (simulator, experiments) resolves
+        against."""
+        if [s.name for s in cluster.servers] == [
+            s.name for s in self._base_cluster.servers
+        ]:
+            return plan
+        to_base = {
+            i: self._base_cluster.server_index(s.name)
+            for i, s in enumerate(cluster.servers)
+        }
+        assignment = {
+            name: (to_base[s] if s is not None else None)
+            for name, s in plan.assignment.items()
+        }
+        return dataclasses.replace(plan, assignment=assignment)
+
     def _solve(self, time_s: float, reason: str) -> JointPlan:
         cluster = self.current_cluster()
         tasks = self.current_tasks()
@@ -209,10 +309,58 @@ class OnlineController:
             objective=self._objective,
             config=self._solver_config,
         ).solve(tasks, candidates=self._candidates, seed=self._seed)
+        plan = result.plan
+        self.shed_tasks = ()
+        if self.config.shed_on_overload and any(
+            not (plan.latencies[t.name] <= t.deadline_s) for t in tasks
+        ):
+            plan = self._shed_overload(tasks, cluster, plan)
+        plan = self._remap_servers(plan, cluster)
         self._solved_bandwidth = dict(self._bandwidth)
         self._solved_rates = dict(self._rates)
         self._last_replan_s = time_s
-        self.events.append(
-            ControllerEvent(time_s, True, reason, result.plan.objective_value)
+        self.events.append(ControllerEvent(time_s, True, reason, plan.objective_value))
+        return plan
+
+    def _shed_overload(
+        self, tasks: List[TaskSpec], cluster: EdgeCluster, plan: JointPlan
+    ) -> JointPlan:
+        """Route an overloaded task set through admission control.
+
+        Rejected tasks are recorded in :attr:`shed_tasks` and keep local-only
+        placeholder entries in the returned plan (their features are carried
+        over from ``plan``), so downstream consumers still find every task.
+        """
+        from repro.core.admission import admit_tasks
+
+        res = admit_tasks(
+            tasks,
+            cluster,
+            latency_model=self._latency_model,
+            candidates=self._candidates,
+            solver_config=self._solver_config,
+            seed=self._seed,
         )
-        return result.plan
+        self.shed_tasks = tuple(t.name for t in res.rejected)
+        if not self.shed_tasks or res.plan is None:
+            return plan
+        admitted = res.plan
+        assignment = dict(admitted.assignment)
+        features = dict(admitted.features)
+        compute = dict(admitted.compute_shares)
+        bandwidth = dict(admitted.bandwidth_shares)
+        latencies = dict(admitted.latencies)
+        for name in self.shed_tasks:
+            assignment[name] = None
+            features[name] = plan.features[name]
+            compute[name] = 1.0
+            bandwidth[name] = 1.0
+            latencies[name] = float("inf")
+        return JointPlan(
+            assignment=assignment,
+            features=features,
+            compute_shares=compute,
+            bandwidth_shares=bandwidth,
+            latencies=latencies,
+            objective_value=admitted.objective_value,
+        )

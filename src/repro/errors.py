@@ -39,6 +39,19 @@ class SimulationError(ReproError):
     (events scheduled in the past, negative service times, ...)."""
 
 
+class FaultError(SimulationError):
+    """Invalid fault schedule or fault-injection state transition (overlapping
+    outages on one target, recovering a resource that is not down, ...)."""
+
+
+class ResourceUnavailableError(FaultError):
+    """Work was submitted to a resource that is currently down.
+
+    The failure-aware request path checks availability before submitting and
+    turns unavailability into timeouts/retries/failover; this exception firing
+    therefore indicates a policy-layer bug, not a simulated outcome."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver exceeded its iteration budget without
     satisfying its convergence criterion."""

@@ -112,6 +112,7 @@ def simulate_measured(
     cluster: EdgeCluster,
     config: SimulationConfig,
     latency_model: Optional[LatencyModel] = None,
+    plan_updates: Sequence = (),
 ) -> SimulationReport:
     """Simulate ``plan``, honouring ``config.replications``/``sim_workers``.
 
@@ -119,12 +120,17 @@ def simulate_measured(
     :func:`repro.sim.runner.simulate_plan`, so experiment outputs are
     unchanged; with more, replications fan out deterministically and the
     pooled report (records concatenated in replication order, utilizations
-    averaged, counters merged) is returned.
+    averaged, counters merged) is returned.  ``plan_updates`` (fault runs
+    only) forward controller-issued mid-run plan repairs.
     """
     if config.replications == 1:
-        return simulate_plan(tasks, plan, cluster, config, latency_model)
+        return simulate_plan(
+            tasks, plan, cluster, config, latency_model, plan_updates=plan_updates
+        )
     return merge_reports(
-        run_replications(tasks, plan, cluster, config, latency_model)
+        run_replications(
+            tasks, plan, cluster, config, latency_model, plan_updates=plan_updates
+        )
     )
 
 

@@ -27,6 +27,7 @@ from repro.experiments import (
     e13_energy,
     e14_queueing_validation,
     e15_admission,
+    e16_resilience,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E13": e13_energy.run,
     "E14": e14_queueing_validation.run,
     "E15": e15_admission.run,
+    "E16": e16_resilience.run,
     # ablations of design choices (DESIGN.md §6-§7)
     "A1": a01_candidate_budget.run,
     "A2": a02_quantization.run,

@@ -1,0 +1,91 @@
+"""Drives a :class:`~repro.faults.schedule.FaultSchedule` as simulator events.
+
+The injector is armed **before** any arrival is scheduled, so its
+transitions hold lower heap sequence numbers and fire before same-time
+request stages — a request arriving exactly at a crash instant already sees
+the server down.  Each window becomes (at most) two events: the fault
+application at ``start_s`` and, for finite windows, the recovery at
+``end_s``.  ``request_loss`` windows have no resource-level effect (the
+runtime consults :meth:`FaultSchedule.loss_probability` per attempt) but are
+still counted and traced when applied.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.errors import FaultError
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.engine import Simulator
+from repro.sim.metrics import SimCounters
+from repro.sim.queues import FifoResource, LinkResource
+from repro.telemetry.timeline import TimelineRecorder
+
+__all__ = ["FaultInjector"]
+
+Resource = Union[FifoResource, LinkResource]
+
+
+class FaultInjector:
+    """Applies scheduled faults to concrete resources at the right instants."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        server_resources: Mapping[str, Sequence[Resource]],
+        link_resources: Mapping[str, Sequence[Resource]],
+        counters: SimCounters,
+        recorder: Optional[TimelineRecorder] = None,
+    ) -> None:
+        self.schedule = schedule
+        self._servers = {k: tuple(v) for k, v in server_resources.items()}
+        self._links = {k: tuple(v) for k, v in link_resources.items()}
+        self.counters = counters
+        self.recorder = recorder
+        for e in schedule:
+            self._resolve(e)  # fail fast on unknown targets
+
+    def _resolve(self, e: FaultEvent) -> Sequence[Resource]:
+        if e.kind in ("server_crash", "server_slowdown"):
+            if e.target not in self._servers:
+                raise FaultError(f"{e.kind} targets unknown server {e.target!r}")
+            return self._servers[e.target]
+        if e.kind in ("link_outage", "link_degrade"):
+            if e.target not in self._links:
+                raise FaultError(f"{e.kind} targets unknown task link {e.target!r}")
+            return self._links[e.target]
+        return ()  # request_loss: consulted per attempt, no resource action
+
+    def arm(self, sim: Simulator) -> None:
+        """Schedule every fault window's apply/revert transitions on ``sim``."""
+        for e in self.schedule:
+            sim.schedule_at(e.start_s, lambda ev=e: self._apply(sim, ev))
+            if not e.permanent:
+                sim.schedule_at(e.end_s, lambda ev=e: self._revert(sim, ev))
+
+    # -- transitions ----------------------------------------------------------
+
+    def _apply(self, sim: Simulator, e: FaultEvent) -> None:
+        now = sim.now
+        for res in self._resolve(e):
+            if e.kind in ("server_crash", "link_outage"):
+                res.fail(now)
+            else:
+                res.set_speed_factor(e.severity)
+        self.counters.faults_injected += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.event(now, "fault_inject", e.target, -1, resource=e.kind,
+                      value=e.severity)
+            rec.count(f"sim.faults.{e.kind}")
+
+    def _revert(self, sim: Simulator, e: FaultEvent) -> None:
+        now = sim.now
+        for res in self._resolve(e):
+            if e.kind in ("server_crash", "link_outage"):
+                res.recover(now)
+            else:
+                res.set_speed_factor(1.0)
+        rec = self.recorder
+        if rec is not None:
+            rec.event(now, "fault_recover", e.target, -1, resource=e.kind)

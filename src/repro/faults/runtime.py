@@ -1,0 +1,509 @@
+"""Failure-aware event-loop simulation of a joint plan.
+
+This is the fault-run counterpart of :func:`repro.sim.runner.simulate_plan`:
+the same resource model and RNG derivations, plus the machinery the base
+runner deliberately omits — a :class:`~repro.faults.injector.FaultInjector`
+driving the configured :class:`~repro.faults.schedule.FaultSchedule`,
+per-stage failure detection (down-at-submit, crash-during-service, wire
+loss, timeout), and the :class:`~repro.faults.policy.FailurePolicy` recovery
+ladder (backoff retry → failover to a standby server slice → graceful local
+degradation → lost).
+
+Because FIFO service times are known at submission, every stage's outcome is
+decided deterministically *at submission time*: the earliest of
+{crash-interrupt, timeout} — both computable from the static schedule and
+the policy — wins against the nominal finish, and exactly one continuation
+is scheduled.  No cancellation races, no sampling inside the loop beyond the
+seed-derived loss/degradation draws, so fault runs replay bit-for-bit.
+
+Mid-run plan repair arrives as :class:`~repro.faults.policy.PlanUpdate`
+directives: arrivals from ``time_s`` onward launch on freshly provisioned
+slices of the repaired plan (in-flight requests keep their old slices) or
+are shed outright.  Every request terminates in exactly one of
+{recorded, warmup-discarded, lost, shed}; the conservation identity is
+checked before the report is returned.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.plan import JointPlan, SurgeryPlan, TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.latency import LatencyModel
+from repro.errors import ConfigError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import FailurePolicy, PlanUpdate
+from repro.faults.schedule import FaultSchedule
+from repro.models.multiexit import MultiExitModel
+from repro.rng import derive, derive_from, derive_material
+from repro.sim.engine import Simulator
+from repro.sim.entities import Request, RequestRecord
+from repro.sim.execution import realize_request
+from repro.sim.metrics import MetricsCollector, SimCounters, SimulationReport
+from repro.sim.queues import FifoResource, LinkResource
+from repro.sim.sources import arrival_times
+from repro.telemetry.timeline import TimelineRecorder
+
+__all__ = ["simulate_with_faults"]
+
+
+@dataclass
+class _Route:
+    """One offload path: a server slice plus its two link directions."""
+
+    server_name: str
+    srv: FifoResource
+    up: LinkResource
+    down: LinkResource
+    is_primary: bool
+
+    @property
+    def reachable(self) -> bool:
+        return not (self.srv.is_down or self.up.is_down or self.down.is_down)
+
+
+@dataclass
+class _TaskRoutes:
+    primary: _Route
+    standby: Optional[_Route]
+
+
+@dataclass(frozen=True)
+class _DegradeProfile:
+    """Precomputed graceful-degradation fallback for one (task, plan)."""
+
+    #: position (within kept exits) of the deepest on-device exit, or -1
+    #: when the plan keeps no on-device exit (full-local fallback instead)
+    on_device_pos: int
+    #: competence of that exit (correctness is re-sampled at it)
+    competence: float
+
+
+def _degrade_profile(model: MultiExitModel, splan: SurgeryPlan) -> _DegradeProfile:
+    kept = list(splan.kept_exits)
+    attach = model.exit_cut_indices[kept]
+    on_device = np.flatnonzero(attach <= splan.partition_cut)
+    if on_device.size == 0:
+        return _DegradeProfile(on_device_pos=-1, competence=0.0)
+    pos = int(on_device[-1])
+    return _DegradeProfile(
+        on_device_pos=pos, competence=float(model.competences[kept][pos])
+    )
+
+
+def simulate_with_faults(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cluster: EdgeCluster,
+    cfg,  # SimulationConfig (typed loosely to avoid the import cycle)
+    lm: LatencyModel,
+    rec: Optional[TimelineRecorder],
+    plan_updates: Sequence[PlanUpdate] = (),
+) -> SimulationReport:
+    """Run ``plan`` under ``cfg.faults`` with the ``cfg.failure_policy`` ladder."""
+    schedule: FaultSchedule = cfg.faults
+    policy: Optional[FailurePolicy] = cfg.failure_policy
+    if schedule is None:
+        raise ConfigError("simulate_with_faults requires cfg.faults")
+
+    updates = sorted(plan_updates, key=lambda u: u.time_s)
+    plans: List[JointPlan] = [plan] + [u.plan for u in updates]
+    shed_sets = [frozenset()] + [frozenset(u.shed_tasks) for u in updates]
+    update_times = [u.time_s for u in updates]
+    for p in plans:
+        for t in tasks:
+            if t.name not in p.features:
+                raise ConfigError(f"plan has no entry for task {t.name!r}")
+
+    reg = rec.registry if rec is not None else None
+    counters = SimCounters(replications=1)
+    sim = Simulator()
+    if rec is not None:
+        sim.on_event = lambda now, pending: rec.sample("sim.pending_events", now, pending)
+    metrics = MetricsCollector(warmup_s=cfg.warmup_s)
+
+    # -- resources ------------------------------------------------------------
+    device_res: Dict[str, FifoResource] = {}
+    for d in cluster.end_devices:
+        device_res[d.name] = FifoResource(
+            f"dev:{d.name}", lm.throughput(d), overhead_s=d.overhead_s, recorder=rec
+        )
+    # injector maps: every slice living on a server / behind a task's access
+    # link, across all plan generations, so one crash takes them all down
+    server_map: Dict[str, List] = {s.name: [] for s in cluster.servers}
+    link_map: Dict[str, List] = {t.name: [] for t in tasks}
+
+    def _make_route(t: TaskSpec, p: JointPlan, s: int, tag: str, primary: bool) -> _Route:
+        server = cluster.servers[s]
+        link = cluster.link(t.device_name, server.name)
+        x = p.compute_shares[t.name]
+        y = p.bandwidth_shares[t.name]
+        srv = FifoResource(
+            f"srv:{t.name}{tag}", lm.throughput(server) * x,
+            overhead_s=server.overhead_s, recorder=rec,
+        )
+        up = LinkResource(
+            f"link:{t.name}:up{tag}", link.bandwidth_bps, rtt_s=link.rtt_s,
+            share=y, trace=cfg.bandwidth_trace, recorder=rec,
+        )
+        down = LinkResource(
+            f"link:{t.name}:down{tag}", link.bandwidth_bps, rtt_s=link.rtt_s,
+            share=y, trace=cfg.bandwidth_trace, recorder=rec,
+        )
+        server_map[server.name].append(srv)
+        if primary:
+            # link faults target the task's *primary* access path; a standby
+            # route reaches a different server over a different link
+            link_map[t.name].extend((up, down))
+        return _Route(server.name, srv, up, down, is_primary=primary)
+
+    route_sets: List[Dict[str, _TaskRoutes]] = []
+    degrade_profiles: List[Dict[str, _DegradeProfile]] = []
+    for k, p in enumerate(plans):
+        tag = "" if k == 0 else f":u{k}"
+        routes: Dict[str, _TaskRoutes] = {}
+        profiles: Dict[str, _DegradeProfile] = {}
+        for t in tasks:
+            profiles[t.name] = _degrade_profile(t.model, p.features[t.name].plan)
+            s = p.assignment[t.name]
+            if s is None:
+                continue
+            primary = _make_route(t, p, s, tag, primary=True)
+            standby = None
+            if cluster.num_servers > 1:
+                standby = _make_route(
+                    t, p, (s + 1) % cluster.num_servers, tag + ":fo", primary=False
+                )
+            routes[t.name] = _TaskRoutes(primary, standby)
+        route_sets.append(routes)
+        degrade_profiles.append(profiles)
+
+    # armed before arrivals: same-time fault transitions outrank stage events
+    injector = FaultInjector(schedule, server_map, link_map, counters, recorder=rec)
+    injector.arm(sim)
+
+    exec_material = {t.name: derive_material(cfg.seed, "exec", t.name) for t in tasks}
+    detection_s = policy.detection_delay_s if policy is not None else 0.0
+
+    # -- request lifecycle ----------------------------------------------------
+    def launch(task: TaskSpec, req: Request) -> None:
+        k = bisect_right(update_times, req.arrival_s)
+        if task.name in shed_sets[k]:
+            counters.shed += 1
+            if rec is not None:
+                rec.event(req.arrival_s, "shed", task.name, req.req_id)
+                rec.count("sim.shed")
+            return
+        active = plans[k]
+        feats = active.features[task.name]
+        rng = derive_from(exec_material[task.name], req.req_id)
+        demand = realize_request(task.model, feats.plan, req.difficulty, rng, metrics=reg)
+        dres = device_res[task.device_name]
+        profile = degrade_profiles[k][task.name]
+        routes = route_sets[k].get(task.name)
+        if demand.offloaded and routes is None:
+            raise SimulationError(
+                f"{task.name}: offloading demand under a local-only assignment"
+            )
+
+        def finish(
+            completion: float,
+            dev_busy: float,
+            srv_busy: float,
+            net_busy: float,
+            exit_position: int,
+            offloaded: bool,
+            correct: bool,
+            degraded: bool,
+        ) -> None:
+            if rec is not None:
+                rec.event(completion, "exit_taken", task.name, req.req_id,
+                          value=float(exit_position))
+                rec.event(completion, "complete", task.name, req.req_id)
+                rec.registry.histogram("sim.latency_ms").observe(
+                    (completion - req.arrival_s) * 1e3
+                )
+            metrics.record(
+                RequestRecord(
+                    task_name=task.name,
+                    req_id=req.req_id,
+                    arrival_s=req.arrival_s,
+                    completion_s=completion,
+                    deadline_s=req.deadline_s,
+                    exit_position=exit_position,
+                    offloaded=offloaded,
+                    correct=correct,
+                    dev_busy_s=dev_busy,
+                    srv_busy_s=srv_busy,
+                    net_busy_s=net_busy,
+                    degraded=degraded,
+                )
+            )
+
+        # -- recovery ladder ---------------------------------------------------
+        def attempt_failed(at: float, dev_busy: float, attempt: int, reason: str) -> None:
+            if rec is not None:
+                rec.event(at, "timeout", task.name, req.req_id, resource=reason)
+            if policy is not None and attempt < policy.max_retries:
+                counters.retries += 1
+                if rec is not None:
+                    rec.event(at, "retry", task.name, req.req_id, value=float(attempt + 1))
+                    rec.count("sim.retries")
+                sim.schedule_at(
+                    at + policy.backoff_s(attempt),
+                    lambda: begin_offload(dev_busy, attempt + 1),
+                )
+                return
+            if policy is not None and policy.degrade_local:
+                sim.schedule_at(at, lambda: degrade(dev_busy))
+                return
+            counters.lost += 1
+            if rec is not None:
+                rec.event(at, "lost", task.name, req.req_id)
+                rec.count("sim.lost")
+
+        def degrade(dev_busy: float) -> None:
+            now = sim.now
+            if profile.on_device_pos >= 0:
+                # deepest on-device exit: backbone-to-cut and its branch were
+                # already computed, so accepting its output costs nothing extra
+                p_ok = float(
+                    task.model.accuracy_model.correctness(
+                        np.array([profile.competence]), np.array([req.difficulty])
+                    )[0, 0]
+                )
+                p_ok = float(np.clip(p_ok, 0.01, 0.999))
+                draw = derive(cfg.seed, "fault_degrade", task.name, req.req_id)
+                complete(now, dev_busy, profile.on_device_pos,
+                         bool(draw.random() < p_ok))
+                return
+            # no on-device exit kept: run the server-side remainder locally —
+            # same exit, same correctness, the work just lands on the device
+            start, done = dres.submit(now, demand.srv_flops)
+            sim.schedule_at(
+                done,
+                lambda: complete(done, dev_busy + (done - start),
+                                 demand.exit_position, demand.correct),
+            )
+
+        def complete(at: float, dev_busy: float, exit_position: int, correct: bool) -> None:
+            counters.degraded_completions += 1
+            if rec is not None:
+                rec.event(at, "degraded", task.name, req.req_id)
+                rec.count("sim.degraded_completions")
+            finish(at, dev_busy, 0.0, 0.0, exit_position,
+                   offloaded=False, correct=correct, degraded=True)
+
+        # -- offload attempt ---------------------------------------------------
+        def begin_offload(dev_busy: float, attempt: int) -> None:
+            route = routes.primary
+            if (
+                policy is not None
+                and policy.failover
+                and routes.standby is not None
+                and not route.reachable
+            ):
+                route = routes.standby
+                counters.failovers += 1
+                if rec is not None:
+                    rec.event(sim.now, "failover", task.name, req.req_id,
+                              resource=route.srv.name)
+                    rec.count("sim.failovers")
+            stage_uplink(route, dev_busy, attempt)
+
+        def _stage_outcome(
+            t_submit: float, done: float, crash_at: Optional[float]
+        ) -> Optional[float]:
+            """Failure instant of a submitted stage, or None on success.
+
+            A crash strictly inside the service window always fails the
+            stage (the work is interrupted no matter when the sender finds
+            out, ``detection_s`` after the crash); a policy timeout fails it
+            when the nominal finish lies beyond the deadline.  The earlier
+            of the two failure instants wins.
+            """
+            candidates = []
+            if crash_at is not None:
+                candidates.append(crash_at + detection_s)
+            if policy is not None and done - t_submit > policy.stage_timeout_s:
+                candidates.append(t_submit + policy.stage_timeout_s)
+            return min(candidates) if candidates else None
+
+        def stage_uplink(route: _Route, dev_busy: float, attempt: int) -> None:
+            now = sim.now
+            lres = route.up
+            if lres.is_down:
+                sim.schedule_at(
+                    now + detection_s,
+                    lambda: attempt_failed(now + detection_s, dev_busy, attempt, "down"),
+                )
+                return
+            start, done = lres.submit(now, demand.up_bytes)
+            if route.is_primary:
+                p_loss = schedule.loss_probability(task.name, now)
+                if p_loss > 0.0:
+                    roll = derive(
+                        cfg.seed, "fault_loss", task.name, req.req_id, attempt
+                    ).random()
+                    if roll < p_loss:
+                        # bits left the device but never arrive; without a
+                        # timeout the sender only "learns" at serialization end
+                        at = (
+                            now + policy.stage_timeout_s
+                            if policy is not None
+                            else done
+                        )
+                        sim.schedule_at(
+                            at, lambda: attempt_failed(at, dev_busy, attempt, "wire_loss")
+                        )
+                        return
+            crash = (
+                schedule.next_failure_in("link_outage", task.name, now, done)
+                if route.is_primary
+                else None
+            )
+            fail_at = _stage_outcome(now, done, crash)
+            if fail_at is not None:
+                sim.schedule_at(
+                    fail_at, lambda: attempt_failed(fail_at, dev_busy, attempt, "uplink")
+                )
+                return
+            if rec is not None:
+                rec.event(start, "transfer_start", task.name, req.req_id, resource=lres.name)
+                rec.event(done, "transfer_end", task.name, req.req_id, resource=lres.name)
+            net1 = done - start
+            sim.schedule_at(done, lambda: stage_server(route, dev_busy, net1, attempt))
+
+        def stage_server(route: _Route, dev_busy: float, net1: float, attempt: int) -> None:
+            now = sim.now
+            sres = route.srv
+            if sres.is_down:
+                sim.schedule_at(
+                    now + detection_s,
+                    lambda: attempt_failed(now + detection_s, dev_busy, attempt, "down"),
+                )
+                return
+            start, done = sres.submit(now, demand.srv_flops)
+            crash = schedule.next_failure_in("server_crash", route.server_name, now, done)
+            fail_at = _stage_outcome(now, done, crash)
+            if fail_at is not None:
+                sim.schedule_at(
+                    fail_at, lambda: attempt_failed(fail_at, dev_busy, attempt, "server")
+                )
+                return
+            if rec is not None:
+                rec.event(start, "exec_start", task.name, req.req_id, resource=sres.name)
+            srv_busy = done - start
+            sim.schedule_at(
+                done, lambda: stage_downlink(route, dev_busy, net1, srv_busy, attempt)
+            )
+
+        def stage_downlink(
+            route: _Route, dev_busy: float, net1: float, srv_busy: float, attempt: int
+        ) -> None:
+            now = sim.now
+            lres = route.down
+            if lres.is_down:
+                sim.schedule_at(
+                    now + detection_s,
+                    lambda: attempt_failed(now + detection_s, dev_busy, attempt, "down"),
+                )
+                return
+            start, done = lres.submit(now, demand.down_bytes)
+            crash = (
+                schedule.next_failure_in("link_outage", task.name, now, done)
+                if route.is_primary
+                else None
+            )
+            fail_at = _stage_outcome(now, done, crash)
+            if fail_at is not None:
+                sim.schedule_at(
+                    fail_at, lambda: attempt_failed(fail_at, dev_busy, attempt, "downlink")
+                )
+                return
+            if rec is not None:
+                rec.event(start, "transfer_start", task.name, req.req_id, resource=lres.name)
+                rec.event(done, "transfer_end", task.name, req.req_id, resource=lres.name)
+            net = net1 + (done - start)
+            sim.schedule_at(
+                done,
+                lambda: finish(done, dev_busy, srv_busy, net, demand.exit_position,
+                               offloaded=True, correct=demand.correct, degraded=False),
+            )
+
+        def stage_device() -> None:
+            if rec is not None:
+                rec.event(sim.now, "enqueue", task.name, req.req_id, resource=dres.name)
+            start, done = dres.submit(sim.now, demand.dev_flops)
+            if rec is not None:
+                rec.event(start, "dequeue", task.name, req.req_id, resource=dres.name)
+                rec.event(start, "exec_start", task.name, req.req_id, resource=dres.name)
+            dev_busy = done - start
+            if not demand.offloaded:
+                sim.schedule_at(
+                    done,
+                    lambda: finish(done, dev_busy, 0.0, 0.0, demand.exit_position,
+                                   offloaded=False, correct=demand.correct,
+                                   degraded=False),
+                )
+                return
+            sim.schedule_at(done, lambda: begin_offload(dev_busy, 0))
+
+        stage_device()
+
+    # -- arrivals -------------------------------------------------------------
+    total = 0
+    for t in tasks:
+        times = arrival_times(
+            t.arrival_rate, cfg.horizon_s, cfg.arrival, cfg.burst_factor,
+            derive(cfg.seed, "arrivals", t.name),
+        )
+        diff_rng = derive(cfg.seed, "difficulty", t.name)
+        difficulties = t.model.difficulty.sample(diff_rng, times.size)
+        for i, (at, d) in enumerate(zip(times, difficulties)):
+            req = Request(
+                task_name=t.name,
+                req_id=i,
+                arrival_s=float(at),
+                difficulty=float(np.clip(d, 0.0, 1.0)),
+                deadline_s=float(at) + t.deadline_s,
+            )
+            sim.schedule_at(float(at), (lambda tt=t, rr=req: launch(tt, rr)))
+            total += 1
+    if total == 0:
+        raise SimulationError("no requests generated; horizon or rates too small")
+
+    sim.run()
+
+    utils = {r.name: r.utilization(cfg.horizon_s) for r in device_res.values()}
+    for routes in route_sets:
+        for tr in routes.values():
+            utils[tr.primary.srv.name] = tr.primary.srv.utilization(cfg.horizon_s)
+            if tr.standby is not None:
+                utils[tr.standby.srv.name] = tr.standby.srv.utilization(cfg.horizon_s)
+
+    report = metrics.report(
+        cfg.horizon_s,
+        utils,
+        timeline=rec.timeline if rec is not None else None,
+        registry=reg,
+    )
+    counters.requests = total
+    counters.records = len(metrics.records)
+    counters.discarded_warmup = metrics.discarded
+    counters.events = sim.events_processed
+    report.counters = counters
+    if not counters.conserved():
+        raise SimulationError(
+            f"request conservation violated: {counters.requests} launched != "
+            f"{counters.records} recorded + {counters.discarded_warmup} warmup "
+            f"+ {counters.lost} lost + {counters.shed} shed"
+        )
+    if reg is not None:
+        counters.publish(reg)
+    return report

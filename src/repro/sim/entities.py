@@ -65,6 +65,9 @@ class RequestRecord:
     dev_busy_s: float
     srv_busy_s: float
     net_busy_s: float
+    #: completed via graceful degradation (local early exit after the edge
+    #: became unreachable) rather than along the planned path
+    degraded: bool = False
 
     @property
     def latency_s(self) -> float:

@@ -38,6 +38,19 @@ class SimCounters:
     discarded_warmup: int = 0
     events: int = 0
     replications: int = 0
+    # -- failure accounting (all zero on fault-free runs) ---------------------
+    #: fault-schedule events applied by the injector
+    faults_injected: int = 0
+    #: offload attempts re-submitted after a failed/timed-out attempt
+    retries: int = 0
+    #: attempts redirected to the failover server slice
+    failovers: int = 0
+    #: requests completed locally at a fallback exit (edge unreachable)
+    degraded_completions: int = 0
+    #: requests that never completed (no policy, or retries exhausted)
+    lost: int = 0
+    #: requests dropped at arrival by overload shedding (admission repair)
+    shed: int = 0
 
     def merge(self, other: "SimCounters") -> "SimCounters":
         """Accumulate ``other`` into ``self`` (returns self for chaining)."""
@@ -58,6 +71,17 @@ class SimCounters:
         for stream in sorted(by_stream):
             out.merge(by_stream[stream])
         return out
+
+    def conserved(self) -> bool:
+        """Request conservation: no request may silently vanish.
+
+        Every launched request must end up completed (recorded or
+        warmup-discarded), lost, or shed — across all arrival modes, fault
+        schedules, and policies.  A property test pins this.
+        """
+        return self.requests == (
+            self.records + self.discarded_warmup + self.lost + self.shed
+        )
 
     def as_dict(self) -> Dict[str, Union[int, float]]:
         """JSON-friendly snapshot (benchmark ``extra_info`` / gate payload)."""
@@ -198,6 +222,26 @@ class SimulationReport:
         if not self.records:
             return float("nan")
         return float(np.mean([not r.met_deadline for r in self.records]))
+
+    @property
+    def lost(self) -> int:
+        """Requests that never completed (fault runs without/after policy)."""
+        return self.counters.lost
+
+    @property
+    def shed(self) -> int:
+        """Requests dropped at arrival by overload shedding."""
+        return self.counters.shed
+
+    @property
+    def degraded_completions(self) -> int:
+        """Requests completed locally at a fallback exit."""
+        return self.counters.degraded_completions
+
+    def goodput(self) -> float:
+        """Deadline-met completions per second of horizon."""
+        met = sum(1 for r in self.records if r.met_deadline)
+        return met / self.horizon_s
 
     @property
     def accuracy(self) -> float:

@@ -15,6 +15,19 @@ Both resources accept an optional
 track in-flight job counts and sample ``sim.queue_depth.<name>`` /
 ``sim.utilization.<name>`` gauges at every submission boundary.  Without a
 recorder (the default) none of that bookkeeping runs.
+
+**Failure state** (driven by :mod:`repro.faults`): both resources can be
+marked down (:meth:`FifoResource.fail`) and back up
+(:meth:`FifoResource.recover`).  Going down abandons all queued/in-flight
+work — the busy horizon is clamped to the failure instant and the abandoned
+residual is removed from the utilization accounting (interrupted requests
+re-drive their own recovery via the failure policy layer).  Submitting to a
+downed resource raises :class:`~repro.errors.ResourceUnavailableError`; the
+failure-aware request path checks :meth:`FifoResource.available` first, so
+the raise only fires on policy-layer bugs.  A ``speed_factor`` (straggler
+slowdowns, link degradation) scales the effective service rate for jobs
+*starting* under it; at the default factor of 1.0 the arithmetic is
+bit-identical to the pre-fault code path.
 """
 
 from __future__ import annotations
@@ -24,12 +37,79 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import FaultError, ResourceUnavailableError, SimulationError
 from repro.network.wireless import BandwidthTrace
 from repro.telemetry.timeline import TimelineRecorder
 
 
-class FifoResource:
+class _FailureStateMixin:
+    """Up/down lifecycle shared by compute and link resources.
+
+    Host classes provide ``name``, ``_busy_until`` and ``busy_time``.
+    """
+
+    def _init_failure_state(self) -> None:
+        self._down_since: Optional[float] = None
+        self.outages: List[Tuple[float, float]] = []  # closed [fail, recover]
+        self.speed_factor = 1.0
+
+    @property
+    def is_down(self) -> bool:
+        return self._down_since is not None
+
+    def available(self, now: float) -> bool:
+        """True when the resource can accept work at ``now``."""
+        del now  # state-based: the injector toggles us exactly at boundaries
+        return self._down_since is None
+
+    def fail(self, now: float) -> None:
+        """Take the resource down at ``now``, abandoning queued work.
+
+        The busy horizon is clamped to ``now`` and the un-served residual is
+        subtracted from ``busy_time`` so utilization reflects work actually
+        performed.  Interrupted requests are the caller's problem — the
+        failure policy layer re-submits, fails over, or degrades them.
+        """
+        if self._down_since is not None:
+            raise FaultError(f"{self.name}: fail() while already down")
+        if now < 0:
+            raise FaultError(f"{self.name}: negative failure time {now}")
+        self._down_since = now
+        if self._busy_until > now:
+            self.busy_time -= self._busy_until - now
+            self._busy_until = now
+
+    def recover(self, now: float) -> None:
+        """Bring the resource back up at ``now`` with an empty queue."""
+        if self._down_since is None:
+            raise FaultError(f"{self.name}: recover() while not down")
+        if now < self._down_since:
+            raise FaultError(
+                f"{self.name}: recovery at t={now:.6g} precedes failure at "
+                f"t={self._down_since:.6g}"
+            )
+        self.outages.append((self._down_since, now))
+        self._down_since = None
+        self._busy_until = max(self._busy_until, now)
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Scale the effective service rate (stragglers / degradation).
+
+        Applies to jobs *starting* service from now on; a job spanning the
+        change keeps the factor it started under.
+        """
+        if factor <= 0:
+            raise FaultError(f"{self.name}: speed factor must be positive")
+        self.speed_factor = factor
+
+    def _raise_down(self, now: float) -> None:
+        raise ResourceUnavailableError(
+            f"{self.name}: submit at t={now:.6g} while down since "
+            f"t={self._down_since:.6g}"
+        )
+
+
+class FifoResource(_FailureStateMixin):
     """Single FIFO server with a fixed service rate (FLOP/s or B/s)."""
 
     def __init__(
@@ -51,6 +131,7 @@ class FifoResource:
         self.busy_time = 0.0  # total service time (utilization accounting)
         self.jobs = 0
         self._inflight: List[float] = []  # finish times (recorder only)
+        self._init_failure_state()
 
     def depth(self, now: float) -> int:
         """Jobs submitted but not yet finished (tracked only with a recorder)."""
@@ -74,10 +155,12 @@ class FifoResource:
             raise SimulationError(f"{self.name}: negative work {amount}")
         if now < 0:
             raise SimulationError(f"{self.name}: negative submit time")
+        if self._down_since is not None:
+            self._raise_down(now)
         if amount == 0:
             return now, now
         start = max(now, self._busy_until)
-        service = amount / self.rate + self.overhead_s
+        service = amount / (self.rate * self.speed_factor) + self.overhead_s
         finish = start + service
         self._busy_until = finish
         self.busy_time += service
@@ -96,6 +179,9 @@ class FifoResource:
         """
         if self.recorder is not None:  # pragma: no cover - guarded by caller
             raise SimulationError(f"{self.name}: sweep requires no recorder")
+        if self.is_down or self.outages or self.speed_factor != 1.0:
+            # pragma: no cover - fault runs force the event loop
+            raise SimulationError(f"{self.name}: sweep is incompatible with faults")
         starts = np.empty(times.shape[0], dtype=np.float64)
         finishes = np.empty(times.shape[0], dtype=np.float64)
         busy = self._busy_until
@@ -131,7 +217,7 @@ class FifoResource:
         return min(1.0, self.busy_time / horizon_s)
 
 
-class LinkResource:
+class LinkResource(_FailureStateMixin):
     """FIFO link with fixed or trace-driven bandwidth.
 
     With a trace, a transfer starting at ``t`` finishes when the integral of
@@ -164,6 +250,7 @@ class LinkResource:
         self.busy_time = 0.0
         self.transfers = 0
         self._inflight: List[float] = []  # serialization-finish times (recorder only)
+        self._init_failure_state()
 
     def depth(self, now: float) -> int:
         """Transfers submitted but not fully serialized (recorder only)."""
@@ -172,14 +259,14 @@ class LinkResource:
 
     def _serialization_finish(self, start: float, nbytes: float) -> float:
         if self.trace is None:
-            return start + nbytes / (self.bandwidth_bps * self.share)
+            return start + nbytes / (self.bandwidth_bps * self.share * self.speed_factor)
         # integrate share-scaled trace bandwidth over time
         times, values = self.trace.times, self.trace.values
         remaining = nbytes
         t = start
         idx = int(np.searchsorted(times, t, side="right")) - 1
         while True:
-            rate = float(values[idx]) * self.share
+            rate = float(values[idx]) * self.share * self.speed_factor
             seg_end = float(times[idx + 1]) if idx + 1 < len(times) else np.inf
             span = seg_end - t
             capacity = rate * span
@@ -199,6 +286,8 @@ class LinkResource:
         """
         if nbytes < 0:
             raise SimulationError(f"{self.name}: negative transfer {nbytes}")
+        if self._down_since is not None:
+            self._raise_down(now)
         if nbytes == 0:
             return now, now
         start = max(now, self._busy_until)
@@ -227,6 +316,9 @@ class LinkResource:
         """
         if self.recorder is not None:  # pragma: no cover - guarded by caller
             raise SimulationError(f"{self.name}: sweep requires no recorder")
+        if self.is_down or self.outages or self.speed_factor != 1.0:
+            # pragma: no cover - fault runs force the event loop
+            raise SimulationError(f"{self.name}: sweep is incompatible with faults")
         starts = np.empty(times.shape[0], dtype=np.float64)
         deliveries = np.empty(times.shape[0], dtype=np.float64)
         busy = self._busy_until

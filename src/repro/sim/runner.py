@@ -44,6 +44,8 @@ from repro.core.plan import JointPlan, TaskSpec
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
 from repro.errors import ConfigError, ReproError, SimulationError
+from repro.faults.policy import FailurePolicy, PlanUpdate
+from repro.faults.schedule import FaultSchedule
 from repro.network.wireless import BandwidthTrace
 from repro.rng import derive, derive_from, derive_material, derive_seed
 from repro.sim.engine import Simulator
@@ -73,12 +75,20 @@ class SimulationConfig:
     #: ``SimulationReport.timeline`` / ``.registry`` (off by default)
     telemetry: bool = False
     #: use the vectorized pipeline sweep when eligible (bit-identical to the
-    #: event loop); set False to force the reference event loop
+    #: event loop); set False to force the reference event loop.  Fault runs
+    #: (``faults`` set) always use the failure-aware event loop regardless —
+    #: the sweep cannot represent interrupted service.
     fast_path: bool = True
     #: independent replications to run (see :func:`run_replications`)
     replications: int = 1
     #: worker processes for replication fan-out (1 = serial)
     sim_workers: int = 1
+    #: fault schedule to inject (None = fault-free: the base simulator paths
+    #: run untouched and fixed-seed outputs are bit-identical)
+    faults: Optional[FaultSchedule] = None
+    #: recovery ladder for failed offload stages; requires ``faults``.
+    #: None under a schedule is the no-policy baseline (failures -> lost)
+    failure_policy: Optional[FailurePolicy] = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -93,6 +103,19 @@ class SimulationConfig:
             raise ConfigError("replications must be >= 1")
         if self.sim_workers < 1:
             raise ConfigError("sim_workers must be >= 1")
+        if self.failure_policy is not None and self.faults is None:
+            raise ConfigError("failure_policy requires a fault schedule")
+        if self.faults is not None:
+            # FaultEvent/FailurePolicy validate their own knobs; here we pin
+            # the schedule against *this* run: a window opening at or beyond
+            # the horizon can never fire and is almost certainly a typo
+            for e in self.faults:
+                if e.start_s >= self.horizon_s:
+                    raise ConfigError(
+                        f"fault {e.kind} on {e.target!r} starts at "
+                        f"t={e.start_s:.6g}, at/beyond the horizon "
+                        f"{self.horizon_s:.6g}"
+                    )
 
 
 def _build_resources(
@@ -160,6 +183,7 @@ def simulate_plan(
     config: Optional[SimulationConfig] = None,
     latency_model: Optional[LatencyModel] = None,
     recorder: Optional[TimelineRecorder] = None,
+    plan_updates: Sequence[PlanUpdate] = (),
 ) -> SimulationReport:
     """Replay ``plan`` under stochastic load; return measured statistics.
 
@@ -169,6 +193,12 @@ def simulate_plan(
     gauges sampled on event boundaries land in ``report.registry``; such runs
     always use the event loop.  Otherwise ``config.fast_path`` (default)
     selects the vectorized sweep, which is bit-identical on a fixed seed.
+
+    With ``config.faults`` set, the run dispatches to the failure-aware
+    event loop (:func:`repro.faults.runtime.simulate_with_faults`):
+    resources go down and recover per the schedule, failed offload stages
+    walk the ``config.failure_policy`` recovery ladder, and controller-
+    issued ``plan_updates`` re-provision arrivals mid-run.
     """
     cfg = config or SimulationConfig()
     lm = latency_model or LatencyModel()
@@ -179,6 +209,12 @@ def simulate_plan(
             raise ConfigError(f"plan has no entry for task {t.name!r}")
 
     rec = recorder if recorder is not None else (TimelineRecorder() if cfg.telemetry else None)
+    if cfg.faults is not None:
+        from repro.faults.runtime import simulate_with_faults
+
+        return simulate_with_faults(tasks, plan, cluster, cfg, lm, rec, plan_updates)
+    if plan_updates:
+        raise ConfigError("plan_updates require a fault schedule")
     resources = _build_resources(tasks, plan, cluster, lm, cfg, rec)
     device_res, task_server_res, task_uplink_res, task_downlink_res = resources
 
@@ -327,8 +363,10 @@ def _replication_config(cfg: SimulationConfig, rep: int) -> SimulationConfig:
 
 
 def _replication_worker(args) -> SimulationReport:
-    tasks, plan, cluster, cfg, latency_model = args
-    return simulate_plan(tasks, plan, cluster, cfg, latency_model)
+    tasks, plan, cluster, cfg, latency_model, plan_updates = args
+    return simulate_plan(
+        tasks, plan, cluster, cfg, latency_model, plan_updates=plan_updates
+    )
 
 
 def run_replications(
@@ -337,6 +375,7 @@ def run_replications(
     cluster: EdgeCluster,
     config: SimulationConfig,
     latency_model: Optional[LatencyModel] = None,
+    plan_updates: Sequence[PlanUpdate] = (),
 ) -> List[SimulationReport]:
     """Run ``config.replications`` independent simulations, optionally parallel.
 
@@ -350,7 +389,9 @@ def run_replications(
     cross the pool boundary.
     """
     cfgs = [_replication_config(config, r) for r in range(config.replications)]
-    jobs = [(tasks, plan, cluster, c, latency_model) for c in cfgs]
+    jobs = [
+        (tasks, plan, cluster, c, latency_model, tuple(plan_updates)) for c in cfgs
+    ]
     workers = min(config.sim_workers, len(jobs))
     if workers > 1 and not config.telemetry and len(jobs) > 1:
         try:

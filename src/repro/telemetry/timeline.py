@@ -27,7 +27,10 @@ from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["EVENT_KINDS", "Timeline", "TimelineEvent", "TimelineRecorder"]
 
-#: The lifecycle vocabulary, in canonical order of occurrence.
+#: The lifecycle vocabulary, in canonical order of occurrence.  The second
+#: group covers failure-aware runs (:mod:`repro.faults`): injector
+#: transitions (``fault_inject`` / ``fault_recover``, ``req_id`` -1) and
+#: per-request recovery outcomes.
 EVENT_KINDS = (
     "enqueue",
     "dequeue",
@@ -36,6 +39,14 @@ EVENT_KINDS = (
     "transfer_end",
     "exit_taken",
     "complete",
+    "fault_inject",
+    "fault_recover",
+    "timeout",
+    "retry",
+    "failover",
+    "degraded",
+    "lost",
+    "shed",
 )
 
 

@@ -13,8 +13,8 @@ from repro.experiments import EXPERIMENTS, run_experiment
 
 
 class TestRegistry:
-    def test_all_fourteen_plus_ablations_registered(self):
-        assert {f"E{i}" for i in range(1, 15)} <= set(EXPERIMENTS)
+    def test_all_sixteen_plus_ablations_registered(self):
+        assert {f"E{i}" for i in range(1, 17)} <= set(EXPERIMENTS)
         assert {f"A{i}" for i in range(1, 5)} <= set(EXPERIMENTS)
 
     def test_unknown_id_raises(self):
@@ -82,3 +82,17 @@ class TestE9:
         r = run_experiment("E9", sizes=((4, 2),))
         assert len(r.rows) == 1
         assert r.rows[0][3] < 30.0  # solve time
+
+
+class TestE16:
+    def test_ladder_recovers_what_static_loses(self):
+        r = run_experiment("E16", num_tasks=4, horizon_s=8.0)
+        by_mode = {row[0]: row for row in r.rows}
+        assert set(by_mode) == {"static", "failover", "failover+repair"}
+        static_lost = by_mode["static"][5]
+        assert static_lost > 0
+        assert by_mode["failover"][5] == 0
+        counters = r.extras["counters"]
+        assert counters["failover"]["retries"] + counters["failover"]["failovers"] > 0
+        assert r.extras["crashed_server"]
+        assert "resilience" in r.title

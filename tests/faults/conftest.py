@@ -1,0 +1,20 @@
+import pytest
+
+from repro.core.joint import JointOptimizer
+
+
+@pytest.fixture(scope="package")
+def small_plan(small_cluster, small_tasks, small_candidates):
+    """The small instance's joint plan, solved once for the fault suite."""
+    return JointOptimizer(small_cluster).solve(
+        small_tasks, candidates=small_candidates, seed=0
+    ).plan
+
+
+@pytest.fixture(scope="package")
+def offload_target(small_plan, small_cluster):
+    """(task_name, server_name) of an offloaded task in the small plan."""
+    for name, idx in small_plan.assignment.items():
+        if idx is not None:
+            return name, small_cluster.servers[idx].name
+    pytest.skip("small plan offloads nothing")

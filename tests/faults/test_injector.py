@@ -1,0 +1,107 @@
+"""The injector: fault windows become resource state transitions."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.sim.engine import Simulator
+from repro.sim.metrics import SimCounters
+from repro.sim.queues import FifoResource
+from repro.telemetry.timeline import TimelineRecorder
+
+
+def _armed(schedule, res):
+    sim = Simulator()
+    counters = SimCounters()
+    inj = FaultInjector(schedule, {"srv": [res]}, {}, counters)
+    inj.arm(sim)
+    return sim, counters
+
+
+class TestCrashWindow:
+    def test_down_exactly_during_window(self):
+        res = FifoResource("srv:slice", rate=1e9)
+        sim, counters = _armed(FaultSchedule.crash_recover("srv", 1.0, 2.0), res)
+        observed = {}
+        for t in (0.5, 1.0, 2.9, 3.0, 4.0):
+            sim.schedule_at(t, lambda t=t: observed.__setitem__(t, res.is_down))
+        sim.run()
+        # injector transitions outrank same-time probes (armed first)
+        assert observed == {0.5: False, 1.0: True, 2.9: True, 3.0: False, 4.0: False}
+        assert counters.faults_injected == 1
+        assert res.outages == [(1.0, 3.0)]
+
+    def test_slowdown_scales_rate_then_reverts(self):
+        res = FifoResource("srv:slice", rate=100.0)
+        sched = FaultSchedule(events=(
+            FaultEvent("server_slowdown", "srv", 1.0, 2.0, 0.5),
+        ))
+        sim, _ = _armed(sched, res)
+        finishes = {}
+        for t in (0.0, 1.0, 3.0):
+            sim.schedule_at(
+                t, lambda t=t: finishes.__setitem__(t, res.submit(t, 100.0)[1])
+            )
+        sim.run()
+        assert finishes[0.0] == pytest.approx(1.0)      # nominal: 1 s of work
+        assert finishes[1.0] == pytest.approx(3.0)      # half speed: 2 s
+        assert finishes[3.0] == pytest.approx(4.0)      # reverted
+
+    def test_permanent_fault_never_reverts(self):
+        import math
+
+        res = FifoResource("srv:slice", rate=1e9)
+        sched = FaultSchedule(events=(
+            FaultEvent("server_crash", "srv", 1.0, math.inf),
+        ))
+        sim, _ = _armed(sched, res)
+        sim.run()
+        assert res.is_down
+
+    def test_multiple_slices_transition_together(self):
+        a, b = FifoResource("a", 1.0), FifoResource("b", 1.0)
+        sim = Simulator()
+        inj = FaultInjector(
+            FaultSchedule.crash_recover("srv", 1.0, 1.0), {"srv": [a, b]}, {},
+            SimCounters(),
+        )
+        inj.arm(sim)
+        sim.schedule_at(1.5, lambda: None)
+        sim.run(until=1.5)
+        assert a.is_down and b.is_down
+
+
+class TestResolution:
+    def test_unknown_server_fails_fast(self):
+        with pytest.raises(FaultError, match="unknown server"):
+            FaultInjector(
+                FaultSchedule.crash_recover("ghost", 1.0, 1.0), {}, {}, SimCounters()
+            )
+
+    def test_unknown_link_fails_fast(self):
+        sched = FaultSchedule(events=(FaultEvent("link_outage", "t9", 1.0, 2.0),))
+        with pytest.raises(FaultError, match="unknown task link"):
+            FaultInjector(sched, {}, {"t0": []}, SimCounters())
+
+    def test_request_loss_needs_no_resource(self):
+        sched = FaultSchedule(events=(
+            FaultEvent("request_loss", "anytask", 1.0, 2.0, 0.5),
+        ))
+        FaultInjector(sched, {}, {}, SimCounters())  # must not raise
+
+
+class TestTelemetry:
+    def test_inject_and_recover_events_recorded(self):
+        res = FifoResource("srv:slice", rate=1e9)
+        rec = TimelineRecorder()
+        sim = Simulator()
+        counters = SimCounters()
+        inj = FaultInjector(
+            FaultSchedule.crash_recover("srv", 1.0, 1.0), {"srv": [res]}, {},
+            counters, recorder=rec,
+        )
+        inj.arm(sim)
+        sim.run()
+        kinds = [e.kind for e in rec.timeline.events]
+        assert kinds == ["fault_inject", "fault_recover"]
+        assert all(e.req_id == -1 for e in rec.timeline.events)

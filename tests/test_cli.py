@@ -100,3 +100,18 @@ class TestCommands:
     def test_trace_rejects_unknown_target(self, capsys):
         assert main(["trace", "not_a_scenario"]) == 1
         assert "unknown trace target" in capsys.readouterr().err
+
+    def test_chaos_replays_with_and_without_policy(self, capsys):
+        assert main(
+            ["chaos", "--tasks", "2", "--servers", "2", "--horizon", "6",
+             "--crash-rate", "6", "--seed", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sampled fault schedule" in out
+        assert "chaos replay" in out
+        assert "no-policy" in out and "failovers" in out
+
+    def test_chaos_rejects_bad_policy_knobs(self, capsys):
+        assert main(
+            ["chaos", "--tasks", "2", "--horizon", "6", "--timeout", "0"]
+        ) == 1
