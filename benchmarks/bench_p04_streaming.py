@@ -1,0 +1,122 @@
+"""P4 micro-bench: the million-request streaming path.
+
+P2 times the record-backed fast path; this file times the chunked
+*streaming* sweep at scales where record-backed simulation stops being
+practical, so the PR's capacity claims are attributable:
+
+- one million requests, single cell, ``streaming=True`` — headline
+  requests/sec at bounded memory (the report keeps histograms and running
+  sums, no per-request records);
+- streaming vs. record-backed on the same seed at a record-feasible size —
+  asserts the streaming-equivalence contract (exact counters and
+  integer-derived scalars, mean latency to 1e-9 relative) alongside the
+  speedup;
+- a 4-cell sharded fan-out via :func:`repro.sim.run_cells` — asserts the
+  merged counters conserve and the scalar summary matches a single-cell
+  streaming run of the same *pooled* traffic only in shape (cells thin the
+  Poisson arrivals, so totals differ; conservation and determinism are the
+  invariants).
+
+Every bench asserts its correctness contract alongside the timing, so a
+"fast but wrong" regression fails before any timing threshold does.
+"""
+
+from dataclasses import replace
+from time import perf_counter
+
+from repro.core.candidates import build_candidates
+from repro.core.joint import JointOptimizer
+from repro.sim import SimulationConfig, run_cells
+from repro.sim.runner import simulate_plan
+from repro.workloads.scenarios import build_scenario
+
+#: Offered load of the headline bench; horizon is derived from the
+#: workload's aggregate arrival rate.
+TARGET_REQUESTS = 1_000_000
+#: Record-feasible size for the equivalence/speedup bench.
+EQUIV_REQUESTS = 200_000
+
+_WORKLOAD = {}
+
+
+def _workload():
+    """smart_city x 16 tasks + its joint plan, built once per session."""
+    if not _WORKLOAD:
+        cluster, tasks = build_scenario("smart_city", num_tasks=16, seed=0)
+        cands = [build_candidates(t) for t in tasks]
+        plan = JointOptimizer(cluster).solve(tasks, candidates=cands, seed=0).plan
+        rate = sum(t.arrival_rate for t in tasks)
+        _WORKLOAD["built"] = (tasks, plan, cluster, rate)
+    return _WORKLOAD["built"]
+
+
+def _config(requests: int, rate: float, **overrides) -> SimulationConfig:
+    return SimulationConfig(
+        horizon_s=requests / rate, warmup_s=2.0, seed=0, **overrides
+    )
+
+
+def test_streaming_million_requests(benchmark):
+    """1M requests through the chunked sweep: requests/sec headline."""
+    tasks, plan, cluster, rate = _workload()
+    cfg = _config(TARGET_REQUESTS, rate, streaming=True)
+
+    t0 = perf_counter()
+    report = benchmark.pedantic(
+        lambda: simulate_plan(tasks, plan, cluster, cfg), rounds=1, iterations=1
+    )
+    wall = perf_counter() - t0
+
+    assert report.streaming and not report.records
+    assert report.counters.conserved()
+    benchmark.extra_info["requests"] = report.counters.requests
+    benchmark.extra_info["req_per_s"] = report.counters.requests / wall
+    benchmark.extra_info["counters"] = report.counters.as_dict()
+
+
+def test_streaming_vs_record_backed(benchmark):
+    """Streaming wins wall-clock while matching the record-backed summary."""
+    tasks, plan, cluster, rate = _workload()
+    record_cfg = _config(EQUIV_REQUESTS, rate)
+    stream_cfg = replace(record_cfg, streaming=True)
+
+    t0 = perf_counter()
+    record_report = simulate_plan(tasks, plan, cluster, record_cfg)
+    record_s = perf_counter() - t0
+
+    t0 = perf_counter()
+    stream_report = benchmark.pedantic(
+        lambda: simulate_plan(tasks, plan, cluster, stream_cfg),
+        rounds=1,
+        iterations=1,
+    )
+    stream_s = perf_counter() - t0
+
+    assert stream_report.counters == record_report.counters
+    assert stream_report.miss_rate == record_report.miss_rate
+    assert stream_report.accuracy == record_report.accuracy
+    assert stream_report.goodput() == record_report.goodput()
+    assert abs(stream_report.mean_latency_s - record_report.mean_latency_s) <= (
+        1e-9 * abs(record_report.mean_latency_s)
+    )
+    assert stream_s < record_s, "streaming must beat record-backed wall-clock"
+    benchmark.extra_info["record_backed_s"] = record_s
+    benchmark.extra_info["speedup_vs_records"] = record_s / stream_s
+
+
+def test_sharded_cells_merge(benchmark):
+    """4-cell fan-out merges deterministically with conserved counters."""
+    tasks, plan, cluster, rate = _workload()
+    cfg = _config(EQUIV_REQUESTS, rate, streaming=True)
+
+    merged = benchmark.pedantic(
+        lambda: run_cells(tasks, plan, cluster, cfg, 4), rounds=1, iterations=1
+    )
+    again = run_cells(tasks, plan, cluster, cfg, 4)
+
+    assert merged.streaming
+    assert merged.counters.conserved()
+    assert merged.counters == again.counters
+    assert merged.mean_latency_s == again.mean_latency_s
+    benchmark.extra_info["requests"] = merged.counters.requests
+    benchmark.extra_info["counters"] = merged.counters.as_dict()

@@ -24,6 +24,27 @@ instance against a checked-in baseline:
 - the fast-path and event-loop reports must be equal (the bit-identity
   contract), re-checked on every gate run.
 
+``--suite stream`` gates the million-request streaming path:
+
+- a 1,000,000-request single-cell streaming run (measured in a fresh
+  subprocess so its peak RSS is attributable) must stay under the
+  ``--rss-ceiling-mb`` memory ceiling and within ``--factor`` of the
+  baseline requests/sec;
+- its ``sim.*`` counters must match the baseline **exactly**, and its
+  scalar summary (counters, miss rate, accuracy, goodput exactly; mean
+  latency to 1e-9 relative) must match a record-backed one-shot run on the
+  same seed — the streaming-equivalence contract;
+- a 4-cell sharded fan-out must merge to byte-identical counters whether
+  cells run serially or on a process pool, and must beat the record-backed
+  one-shot by ``--min-speedup`` (default 3×) wall-clock — the capacity
+  unlock this suite exists to protect.  The serial/parallel cell ratio is
+  also recorded; it only demonstrates scaling when ≥4 CPUs are available,
+  so it is reported rather than gated.
+
+Every stream run (check or update) appends a trajectory entry to
+``benchmarks/baselines/BENCH_stream.json`` — requests/sec, peak RSS,
+speedups — so future PRs inherit a perf history.
+
 ``--check-overhead`` instead measures a tracing-**disabled** solve (or, for
 ``--suite sim``, a telemetry-disabled event-loop run) and asserts its wall
 time stays within ``--overhead`` (default 2%) of the baseline — guarding
@@ -37,6 +58,7 @@ Usage:
     PYTHONPATH=src python scripts/perf_gate.py --update          # rewrite baseline
     PYTHONPATH=src python scripts/perf_gate.py --check-overhead  # telemetry overhead
     PYTHONPATH=src python scripts/perf_gate.py --suite sim       # simulator check
+    PYTHONPATH=src python scripts/perf_gate.py --suite stream    # 1M-request gate
 
 Exit code 0 = within budget, 1 = regression.
 """
@@ -55,6 +77,8 @@ from repro.telemetry.metrics import MetricsRegistry
 _BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
 DEFAULT_BASELINE = _BASELINE_DIR / "e09_solver_baseline.json"
 DEFAULT_SIM_BASELINE = _BASELINE_DIR / "sim_baseline.json"
+DEFAULT_STREAM_BASELINE = _BASELINE_DIR / "stream_baseline.json"
+STREAM_TRAJECTORY = _BASELINE_DIR / "BENCH_stream.json"
 
 #: Deterministic solver counters gated alongside wall time (ratio-gated).
 GATED_COUNTERS = ("allocate_calls", "allocate_group_solves", "latency_evals")
@@ -62,6 +86,11 @@ GATED_COUNTERS = ("allocate_calls", "allocate_group_solves", "latency_evals")
 #: Deterministic simulator counters — gated by **exact** equality: the sim
 #: workload is fully seeded, so any drift means simulation behavior changed.
 SIM_GATED_COUNTERS = ("requests", "records", "discarded_warmup", "events")
+
+#: Offered load of the streaming gate, in requests (horizon is derived).
+STREAM_TARGET_REQUESTS = 1_000_000
+#: Traffic cells of the sharded fan-out check.
+STREAM_CELLS = 4
 
 
 def measure(rounds: int = 3) -> dict:
@@ -248,6 +277,267 @@ def run_sim_suite(args) -> int:
     return check_sim(json.loads(args.baseline.read_text()), current, args.factor)
 
 
+def _stream_workload():
+    """The stream gate's workload: the sim workload stretched to 1M requests."""
+    from dataclasses import replace
+
+    tasks, plan, cluster, cfg = _sim_workload()
+    rate = sum(t.arrival_rate for t in tasks)
+    horizon = STREAM_TARGET_REQUESTS / rate
+    return tasks, plan, cluster, replace(cfg, horizon_s=horizon)
+
+
+def stream_probe() -> dict:
+    """Run the 1M-request streaming sim and report wall + own peak RSS.
+
+    Executed in a fresh interpreter (``--stream-probe``) so ``ru_maxrss``
+    measures exactly this run: workload build + chunked sweep + bounded
+    accumulators, with no earlier gate phases inflating the peak.
+    """
+    import resource
+    from dataclasses import replace
+
+    from repro.sim.runner import simulate_plan
+
+    tasks, plan, cluster, cfg = _stream_workload()
+    scfg = replace(cfg, streaming=True)
+    t0 = perf_counter()
+    report = simulate_plan(tasks, plan, cluster, scfg)
+    wall = perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "requests": report.counters.requests,
+        "req_per_s": report.counters.requests / wall,
+        # linux ru_maxrss is KiB
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "counters": report.counters.as_dict(),
+        "mean_latency_s": report.mean_latency_s,
+        "miss_rate": report.miss_rate,
+        "accuracy": report.accuracy,
+        "goodput": report.goodput(),
+    }
+
+
+def _registry_snapshot(counters) -> dict:
+    """Publish counters as ``sim.*`` and snapshot — the telemetry export path."""
+    registry = MetricsRegistry()
+    counters.publish(registry)
+    return {name: m["value"] for name, m in registry.snapshot().items()}
+
+
+def measure_stream(rounds: int = 2) -> dict:
+    """Streaming measurement in the gate's JSON-safe shape.
+
+    The 1M single-cell run happens in a subprocess (best wall of ``rounds``,
+    max RSS across them); the record-backed reference and the sharded
+    fan-out run in-process.
+    """
+    import json as _json
+    import os
+    import subprocess
+    from dataclasses import replace
+
+    from repro.sim.runner import run_cells, simulate_plan
+
+    probes = []
+    for _ in range(rounds):
+        out = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--stream-probe"],
+            capture_output=True, text=True, check=True,
+        )
+        probes.append(_json.loads(out.stdout))
+    probe = min(probes, key=lambda p: p["wall_s"])
+    peak_rss_kb = max(p["peak_rss_kb"] for p in probes)
+
+    # streaming ≡ record-backed: same seed, chunk-size-∞ one-shot sweep
+    tasks, plan, cluster, cfg = _stream_workload()
+    t0 = perf_counter()
+    record_backed = simulate_plan(tasks, plan, cluster, cfg)
+    record_backed_s = perf_counter() - t0
+    mean_rel = abs(probe["mean_latency_s"] - record_backed.mean_latency_s) / max(
+        abs(record_backed.mean_latency_s), 1e-30
+    )
+    stream_matches_records = (
+        probe["counters"] == record_backed.counters.as_dict()
+        and probe["miss_rate"] == record_backed.miss_rate
+        and probe["accuracy"] == record_backed.accuracy
+        and probe["goodput"] == record_backed.goodput()
+        and mean_rel <= 1e-9
+    )
+
+    # sharded fan-out: serial and pooled cells must merge identically
+    stream_cfg = replace(cfg, streaming=True)
+    t0 = perf_counter()
+    serial = run_cells(tasks, plan, cluster, replace(stream_cfg, sim_workers=1), STREAM_CELLS)
+    serial_cells_s = perf_counter() - t0
+    cpus = len(os.sched_getaffinity(0))
+    t0 = perf_counter()
+    pooled = run_cells(
+        tasks, plan, cluster,
+        replace(stream_cfg, sim_workers=min(STREAM_CELLS, max(cpus, 2))),
+        STREAM_CELLS,
+    )
+    pooled_cells_s = perf_counter() - t0
+    shard_counters_equal = (
+        serial.counters == pooled.counters
+        and _registry_snapshot(serial.counters) == _registry_snapshot(pooled.counters)
+        and serial.mean_latency_s == pooled.mean_latency_s
+    )
+    shard_s = min(serial_cells_s, pooled_cells_s)
+    return {
+        "suite": "stream",
+        "workload": (
+            f"smart_city x16 tasks, {STREAM_TARGET_REQUESTS} requests "
+            f"({cfg.horizon_s:.0f}s horizon), seed 0"
+        ),
+        "requests": probe["requests"],
+        "wall_s": probe["wall_s"],
+        "req_per_s": probe["req_per_s"],
+        "peak_rss_kb": peak_rss_kb,
+        "counters": probe["counters"],
+        "stream_matches_records": stream_matches_records,
+        "record_backed_s": record_backed_s,
+        "shard_counters_equal": shard_counters_equal,
+        "serial_cells_s": serial_cells_s,
+        "pooled_cells_s": pooled_cells_s,
+        "speedup_vs_records": record_backed_s / shard_s,
+        "cell_pool_ratio": serial_cells_s / pooled_cells_s,
+        "cpus": cpus,
+    }
+
+
+def append_stream_trajectory(current: dict, path: Path = STREAM_TRAJECTORY) -> None:
+    """Append this run's headline numbers to the BENCH_stream.json history."""
+    from datetime import datetime, timezone
+
+    entries = json.loads(path.read_text()) if path.exists() else []
+    entries.append(
+        {
+            "at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "requests": current["requests"],
+            "wall_s": round(current["wall_s"], 4),
+            "req_per_s": round(current["req_per_s"], 1),
+            "peak_rss_kb": current["peak_rss_kb"],
+            "record_backed_s": round(current["record_backed_s"], 4),
+            "speedup_vs_records": round(current["speedup_vs_records"], 2),
+            "cell_pool_ratio": round(current["cell_pool_ratio"], 2),
+            "cpus": current["cpus"],
+        }
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def check_stream(
+    baseline: dict,
+    current: dict,
+    factor: float,
+    rss_ceiling_mb: float,
+    min_speedup: float,
+) -> int:
+    """Gate the streaming path: equivalence, counters, RSS, throughput, speedup."""
+    failures = []
+
+    status = "OK" if current["stream_matches_records"] else "FAIL"
+    print(f"{status} streaming summary == record-backed summary (fixed seed)")
+    if not current["stream_matches_records"]:
+        failures.append("stream_matches_records")
+
+    status = "OK" if current["shard_counters_equal"] else "FAIL"
+    print(
+        f"{status} {STREAM_CELLS}-cell merge: serial == pooled counters "
+        "and sim.* registry snapshots"
+    )
+    if not current["shard_counters_equal"]:
+        failures.append("shard_counters_equal")
+
+    for name in SIM_GATED_COUNTERS:
+        base = baseline["counters"].get(name)
+        cur = current["counters"][name]
+        if base is None:
+            continue
+        status = "OK" if cur == base else "FAIL"
+        print(f"{status} sim.{name} {cur} vs baseline {base} (exact, drift {cur - base:+d})")
+        if cur != base:
+            failures.append(f"sim.{name}")
+
+    floor = baseline["req_per_s"] / factor
+    status = "OK" if current["req_per_s"] >= floor else "FAIL"
+    print(
+        f"{status} throughput {current['req_per_s'] / 1e3:.0f}k req/s vs baseline "
+        f"{baseline['req_per_s'] / 1e3:.0f}k (floor {floor / 1e3:.0f}k, budget {factor:.2f}x)"
+    )
+    if current["req_per_s"] < floor:
+        failures.append("req_per_s")
+
+    ceiling_kb = rss_ceiling_mb * 1024
+    status = "OK" if current["peak_rss_kb"] <= ceiling_kb else "FAIL"
+    print(
+        f"{status} peak RSS {current['peak_rss_kb'] / 1024:.0f} MiB "
+        f"(ceiling {rss_ceiling_mb:.0f} MiB, bounded-memory contract)"
+    )
+    if current["peak_rss_kb"] > ceiling_kb:
+        failures.append("peak_rss")
+
+    speedup = current["speedup_vs_records"]
+    status = "OK" if speedup >= min_speedup else "FAIL"
+    print(
+        f"{status} sharded streaming {speedup:.1f}x vs record-backed one-shot "
+        f"(floor {min_speedup:.1f}x; record-backed {current['record_backed_s']:.2f}s)"
+    )
+    if speedup < min_speedup:
+        failures.append("speedup_vs_records")
+    note = "" if current["cpus"] >= STREAM_CELLS else (
+        f" (only {current['cpus']} CPU(s): pool overhead dominates, informational)"
+    )
+    print(
+        f"--   cell pool ratio {current['cell_pool_ratio']:.2f}x "
+        f"(serial {current['serial_cells_s']:.2f}s / pooled "
+        f"{current['pooled_cells_s']:.2f}s on {current['cpus']} CPUs){note}"
+    )
+
+    if failures:
+        print(f"stream perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("stream perf gate passed")
+    return 0
+
+
+def run_stream_suite(args) -> int:
+    """``--suite stream`` flow: baseline update or full gate (+ trajectory)."""
+    if args.check_overhead:
+        print("--check-overhead is not defined for the stream suite", file=sys.stderr)
+        return 1
+    current = measure_stream()
+    append_stream_trajectory(current)
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        if not (current["stream_matches_records"] and current["shard_counters_equal"]):
+            print(
+                "refusing to write baseline: streaming != record-backed or "
+                "shard merge drifted",
+                file=sys.stderr,
+            )
+            return 1
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        print(json.dumps(current, indent=2))
+        return 0
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --suite stream --update first",
+            file=sys.stderr,
+        )
+        return 1
+    return check_stream(
+        json.loads(args.baseline.read_text()),
+        current,
+        args.factor,
+        args.rss_ceiling_mb,
+        args.min_speedup,
+    )
+
+
 def check_overhead(baseline_path: Path, overhead: float) -> int:
     """Assert a tracing-disabled solve stays within ``overhead`` of baseline."""
     from repro.telemetry.trace import get_tracer
@@ -282,9 +572,12 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--suite",
-        choices=("solver", "sim"),
+        choices=("solver", "sim", "stream"),
         default="solver",
-        help="what to gate: the E9 joint solver (default) or the simulator hot path",
+        help=(
+            "what to gate: the E9 joint solver (default), the simulator hot "
+            "path, or the million-request streaming path"
+        ),
     )
     ap.add_argument(
         "--baseline",
@@ -314,9 +607,34 @@ def main(argv=None) -> int:
         default=0.02,
         help="allowed fractional overhead for --check-overhead (default 2%%)",
     )
+    ap.add_argument(
+        "--rss-ceiling-mb",
+        type=float,
+        default=512.0,
+        help="stream suite: max peak RSS of the 1M-request run (default 512 MiB)",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help=(
+            "stream suite: min wall-clock speedup of the sharded streaming "
+            "fan-out over the record-backed one-shot run (default 3x)"
+        ),
+    )
+    ap.add_argument("--stream-probe", action="store_true", help=argparse.SUPPRESS)
     args = ap.parse_args(argv)
+    if args.stream_probe:
+        print(json.dumps(stream_probe()))
+        return 0
     if args.baseline is None:
-        args.baseline = DEFAULT_SIM_BASELINE if args.suite == "sim" else DEFAULT_BASELINE
+        args.baseline = {
+            "sim": DEFAULT_SIM_BASELINE,
+            "stream": DEFAULT_STREAM_BASELINE,
+        }.get(args.suite, DEFAULT_BASELINE)
+
+    if args.suite == "stream":
+        return run_stream_suite(args)
 
     if args.suite == "sim":
         return run_sim_suite(args)

@@ -30,7 +30,7 @@ from repro.errors import ReproError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.models import zoo
 from repro.profiling.profiler import profile_model
-from repro.sim.runner import SimulationConfig, simulate_plan
+from repro.sim.runner import SimulationConfig, run_cells, simulate_plan
 from repro.workloads.scenarios import SCENARIOS, build_scenario
 
 
@@ -92,16 +92,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     cluster, tasks, result = _solve(args)
     print(result.plan.summary())
-    report = simulate_plan(
-        tasks,
-        result.plan,
-        cluster,
-        SimulationConfig(
-            horizon_s=args.horizon, warmup_s=min(args.horizon / 5, 5.0), seed=args.seed
-        ),
+    cfg = SimulationConfig(
+        horizon_s=args.horizon,
+        warmup_s=min(args.horizon / 5, 5.0),
+        seed=args.seed,
+        streaming=args.streaming or args.cells > 1,
+        chunk_size=args.chunk_size,
+        max_records=args.max_records,
+        sim_workers=args.sim_workers,
     )
+    if args.cells > 1:
+        report = run_cells(tasks, result.plan, cluster, cfg, args.cells)
+    else:
+        report = simulate_plan(tasks, result.plan, cluster, cfg)
     print()
     print(report.summary())
+    if report.streaming:
+        print(
+            f"(streaming mode: {report.total_requests} requests folded into "
+            f"bounded accumulators, {len(report.records)} reservoir records kept)"
+        )
     return 0
 
 
@@ -297,6 +307,29 @@ def build_parser() -> argparse.ArgumentParser:
             p.set_defaults(fn=_cmd_solve)
         else:
             p.add_argument("--horizon", type=float, default=30.0, help="sim seconds")
+            p.add_argument(
+                "--streaming", action="store_true",
+                help="bounded-memory chunked sweep (records-free report; "
+                "required for very long horizons)",
+            )
+            p.add_argument(
+                "--chunk-size", type=int, default=65536,
+                help="target requests per streaming window (results identical "
+                "for any value)",
+            )
+            p.add_argument(
+                "--max-records", type=int, default=0,
+                help="reservoir-sampled records to keep on streaming runs",
+            )
+            p.add_argument(
+                "--cells", type=int, default=1,
+                help="shard the workload across N independent traffic cells "
+                "(implies --streaming; merges exactly)",
+            )
+            p.add_argument(
+                "--sim-workers", type=int, default=1,
+                help="worker processes for the cell fan-out",
+            )
             p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser(

@@ -26,11 +26,16 @@ from repro.core.objectives import Objective
 from repro.core.plan import JointPlan, TaskSpec
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
-from repro.errors import InfeasibleError
+from repro.errors import ConfigError, InfeasibleError
 from repro.analysis.tables import format_table
 from repro.rng import SeedLike
 from repro.sim.metrics import SimulationReport, merge_reports
-from repro.sim.runner import SimulationConfig, run_replications, simulate_plan
+from repro.sim.runner import (
+    SimulationConfig,
+    run_cells,
+    run_replications,
+    simulate_plan,
+)
 
 
 @dataclass
@@ -113,6 +118,7 @@ def simulate_measured(
     config: SimulationConfig,
     latency_model: Optional[LatencyModel] = None,
     plan_updates: Sequence = (),
+    cells: int = 1,
 ) -> SimulationReport:
     """Simulate ``plan``, honouring ``config.replications``/``sim_workers``.
 
@@ -122,7 +128,18 @@ def simulate_measured(
     pooled report (records concatenated in replication order, utilizations
     averaged, counters merged) is returned.  ``plan_updates`` (fault runs
     only) forward controller-issued mid-run plan repairs.
+
+    ``cells > 1`` instead shards the workload across independent traffic
+    cells (:func:`repro.sim.runner.run_cells`) — the high-volume streaming
+    fan-out, which forces ``streaming=True`` and merges cell accumulators
+    exactly.  Cells and replications/fault runs are mutually exclusive.
     """
+    if cells > 1:
+        if plan_updates:
+            raise ConfigError("cells cannot be combined with plan_updates")
+        if config.replications != 1:
+            raise ConfigError("cells cannot be combined with replications")
+        return run_cells(tasks, plan, cluster, config, cells, latency_model)
     if config.replications == 1:
         return simulate_plan(
             tasks, plan, cluster, config, latency_model, plan_updates=plan_updates

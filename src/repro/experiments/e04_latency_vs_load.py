@@ -29,8 +29,15 @@ def run(
     seed: int = 0,
     replications: int = 1,
     sim_workers: int = 1,
+    streaming: bool = False,
+    cells: int = 1,
 ) -> ExperimentResult:
-    """Sweep task count; simulate each strategy's plan; report mean/p99."""
+    """Sweep task count; simulate each strategy's plan; report mean/p99.
+
+    ``streaming=True`` runs the bounded-memory chunked sweep (needed for
+    very long horizons); ``cells > 1`` additionally shards each simulation
+    across independent traffic cells merged via streaming accumulators.
+    """
     strategies = [
         EdgeOnly(),
         Neurosurgeon(),
@@ -52,7 +59,9 @@ def run(
                 SimulationConfig(
                     horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
                     replications=replications, sim_workers=sim_workers,
+                    streaming=streaming,
                 ),
+                cells=cells,
             )
             extras.setdefault(name, {})[n] = {
                 "mean": rep.mean_latency_s,

@@ -30,8 +30,14 @@ def run(
     seed: int = 0,
     replications: int = 1,
     sim_workers: int = 1,
+    streaming: bool = False,
+    cells: int = 1,
 ) -> ExperimentResult:
-    """Sweep deadline scale; report measured satisfaction ratio per strategy."""
+    """Sweep deadline scale; report measured satisfaction ratio per strategy.
+
+    ``streaming``/``cells`` select the bounded-memory chunked sweep and the
+    sharded traffic-cell fan-out for long-horizon runs.
+    """
     cluster, base_tasks = build_scenario(scenario, num_tasks=num_tasks, seed=seed)
     cands = [build_candidates(t) for t in base_tasks]
     strategies = [EdgeOnly(), Neurosurgeon(), Edgent(), AllocationOnly()]
@@ -57,7 +63,9 @@ def run(
                 SimulationConfig(
                     horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
                     replications=replications, sim_workers=sim_workers,
+                    streaming=streaming,
                 ),
+                cells=cells,
             )
             ratio = 1.0 - rep.miss_rate
             extras.setdefault(name, {})[scale] = ratio

@@ -37,8 +37,14 @@ def run(
     seed: int = 0,
     replications: int = 1,
     sim_workers: int = 1,
+    streaming: bool = False,
+    cells: int = 1,
 ) -> ExperimentResult:
-    """Sweep offered load; admit, then simulate the admitted set."""
+    """Sweep offered load; admit, then simulate the admitted set.
+
+    ``streaming``/``cells`` select the bounded-memory chunked sweep and the
+    sharded traffic-cell fan-out for long-horizon runs.
+    """
     rows = []
     extras = {"ratio": {}, "admitted_satisfaction": {}}
     for n in loads:
@@ -58,7 +64,9 @@ def run(
                 SimulationConfig(
                     horizon_s=horizon_s, warmup_s=min(2.0, horizon_s / 5), seed=seed,
                     replications=replications, sim_workers=sim_workers,
+                    streaming=streaming,
                 ),
+                cells=cells,
             )
             satisfied = 1.0 - rep.miss_rate
             mean_ms = rep.mean_latency_s * 1e3

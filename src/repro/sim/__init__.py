@@ -12,24 +12,33 @@ from repro.sim.engine import Simulator
 from repro.sim.entities import Request, RequestDemand, RequestRecord
 from repro.sim.execution import RealizationTable, realize_request, sample_exit
 from repro.sim.metrics import (
+    LatencyHistogram,
     MetricsCollector,
     SimCounters,
     SimulationReport,
+    StreamingStats,
     merge_reports,
 )
 from repro.sim.queues import FifoResource, LinkResource
-from repro.sim.runner import SimulationConfig, run_replications, simulate_plan
+from repro.sim.runner import (
+    SimulationConfig,
+    run_cells,
+    run_replications,
+    simulate_plan,
+)
 from repro.sim.sources import (
     DeterministicArrivals,
     MMPPArrivals,
     PoissonArrivals,
     TraceArrivals,
+    arrival_stream,
     arrival_times,
 )
 
 __all__ = [
     "DeterministicArrivals",
     "FifoResource",
+    "LatencyHistogram",
     "LinkResource",
     "MMPPArrivals",
     "MetricsCollector",
@@ -42,10 +51,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationReport",
     "Simulator",
+    "StreamingStats",
     "TraceArrivals",
+    "arrival_stream",
     "arrival_times",
     "merge_reports",
     "realize_request",
+    "run_cells",
     "run_replications",
     "sample_exit",
     "simulate_plan",

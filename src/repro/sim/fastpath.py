@@ -46,11 +46,11 @@ from repro.rng import derive, derive_material
 from repro.rng_vec import first_uniforms
 from repro.sim.entities import RequestRecord
 from repro.sim.execution import RealizationTable
-from repro.sim.metrics import SimCounters
+from repro.sim.metrics import SimCounters, StreamingStats
 from repro.sim.queues import FifoResource, LinkResource
-from repro.sim.sources import arrival_times
+from repro.sim.sources import arrival_stream, arrival_times
 
-__all__ = ["sweep_pipeline"]
+__all__ = ["sweep_pipeline", "sweep_pipeline_streaming"]
 
 
 class _TaskStream:
@@ -283,3 +283,368 @@ def sweep_pipeline(
         replications=1,
     )
     return records, discarded, counters
+
+
+# -- chunked streaming sweep ---------------------------------------------------
+#
+# The streaming sweep replays the exact per-resource recurrences of
+# ``sweep_pipeline`` window by window instead of over one giant array.  Three
+# facts make the chunking lossless:
+#
+# 1. Every stochastic column is chunkable: arrival streams replay the
+#    one-shot draw order (``repro.sim.sources.ArrivalStream``), difficulty
+#    draws are stream-sequential, and exec uniforms are counter-based
+#    (addressed by request index), so realizing requests window by window
+#    yields bit-identical columns.
+# 2. Device submissions are ordered by ``(arrival, task order)``, and window
+#    boundaries split by arrival — every submission of window *k* precedes
+#    every submission of window *k+1*, so per-window sweeps see the global
+#    submission order.
+# 3. Offload-stage submissions are ordered by the *previous* stage's finish
+#    times, which do not respect window boundaries; each stage therefore
+#    buffers pending submissions and only flushes entries whose stage key is
+#    strictly below the window edge ``t1``.  That is safe because any
+#    request realized in a later window has all stage timestamps ≥ its
+#    arrival ≥ ``t1``; within the flush, a stable argsort over
+#    ``[sorted carry-over ‖ new batch in request order]`` reproduces the
+#    global stable submission order (carry-over entries hold smaller request
+#    ids than any new entry, so ties resolve identically).
+#
+# Each resource's ``sweep`` carries its busy horizon and busy-time
+# accumulator across calls with sequential-scalar semantics, so splitting
+# one sweep into many changes no bits.  Completed requests fold straight
+# into a ``StreamingStats`` accumulator — the event loop's record *order* is
+# not reproduced (it only affects the order of observation, not any value),
+# which is what lets the sweep retire requests without a global completion
+# buffer.
+
+
+#: per-request payload carried through the offload-stage buffers; a single
+#: superset of columns (all float64) keeps the buffers homogeneous
+_STAGE_COLS = (
+    "req_id", "arrival", "deadline", "position", "correct",
+    "dev_busy", "net_busy", "srv_busy", "up_bytes", "srv_flops", "down_bytes",
+)
+
+
+class _StageBuffer:
+    """Pending submissions of one pipeline stage, in submission order.
+
+    Holds ``(key, payload)`` rows where ``key`` is the previous stage's
+    finish time (= this stage's submission time).  :meth:`push_flush`
+    appends a batch in request order, restores global submission order with
+    a stable argsort, and splits off every row with ``key < threshold``.
+    """
+
+    __slots__ = ("key", "cols")
+
+    def __init__(self) -> None:
+        self.key = np.empty(0, dtype=np.float64)
+        self.cols = {name: np.empty(0, dtype=np.float64) for name in _STAGE_COLS}
+
+    @property
+    def pending(self) -> int:
+        return self.key.size
+
+    def push_flush(
+        self,
+        key: np.ndarray,
+        cols: Dict[str, np.ndarray],
+        threshold: float,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        if key.size:
+            merged_key = np.concatenate([self.key, key])
+            merged = {
+                name: np.concatenate([self.cols[name], cols[name]])
+                for name in _STAGE_COLS
+            }
+            order = np.argsort(merged_key, kind="stable")
+            merged_key = merged_key[order]
+            merged = {name: c[order] for name, c in merged.items()}
+        else:
+            merged_key, merged = self.key, self.cols
+        split = int(np.searchsorted(merged_key, threshold, side="left"))
+        out_key = merged_key[:split]
+        out = {name: c[:split] for name, c in merged.items()}
+        self.key = merged_key[split:]
+        self.cols = {name: c[split:] for name, c in merged.items()}
+        return out_key, out
+
+
+class _ChunkedTaskStream:
+    """Incremental realization of one task's request stream.
+
+    Produces the same columns as :class:`_TaskStream`, window by window:
+    arrivals come from the replaying :func:`arrival_stream`, difficulties
+    from the same derived generator (stream-sequential draws), and exec
+    uniforms from the counter-based :func:`first_uniforms` addressed by
+    request index.
+    """
+
+    __slots__ = (
+        "task", "table", "arrivals", "diff_rng", "exec_material",
+        "generated", "offloaded_total", "up_buf", "srv_buf", "down_buf",
+    )
+
+    def __init__(self, task: TaskSpec, plan: JointPlan, cfg) -> None:
+        self.task = task
+        self.table = RealizationTable(task.model, plan.features[task.name].plan)
+        self.arrivals = arrival_stream(
+            task.arrival_rate,
+            cfg.horizon_s,
+            cfg.arrival,
+            cfg.burst_factor,
+            derive(cfg.seed, "arrivals", task.name),
+        )
+        self.diff_rng = derive(cfg.seed, "difficulty", task.name)
+        self.exec_material = derive_material(cfg.seed, "exec", task.name)
+        self.generated = 0
+        self.offloaded_total = 0
+        self.up_buf = _StageBuffer()
+        self.srv_buf = _StageBuffer()
+        self.down_buf = _StageBuffer()
+
+    def realize(self, t_end: float) -> Dict[str, np.ndarray]:
+        """Realize the requests arriving in the current window."""
+        arrival = self.arrivals.take_until(t_end)
+        m = arrival.size
+        difficulties = np.clip(
+            self.task.model.difficulty.sample(self.diff_rng, m), 0.0, 1.0
+        )
+        pos = self.table.positions(difficulties)
+        req_id = np.arange(self.generated, self.generated + m, dtype=np.int64)
+        uniforms = first_uniforms(self.exec_material, req_id)
+        self.generated += m
+        offloaded = self.table.offloaded[pos]
+        self.offloaded_total += int(np.count_nonzero(offloaded))
+        return {
+            "req_id": req_id,
+            "arrival": arrival.astype(np.float64),
+            "deadline": arrival + self.task.deadline_s,
+            "positions": pos,
+            "offloaded": offloaded,
+            "correct": uniforms < self.table.p_correct(pos, difficulties),
+            "dev_flops": self.table.dev_flops[pos],
+            "srv_flops": self.table.srv_flops[pos],
+            "up_bytes": self.table.up_bytes[pos],
+            "down_bytes": self.table.down_bytes[pos],
+        }
+
+
+def _sweep_devices_window(
+    batches: "List[Tuple[_ChunkedTaskStream, Dict[str, np.ndarray]]]",
+    device_res: Dict[str, FifoResource],
+) -> None:
+    """Windowed :func:`_sweep_devices`: merged arrival-order device sweeps.
+
+    Adds ``dev_start`` / ``dev_done`` columns to each batch in place.
+    """
+    by_device: Dict[str, List[Tuple[_ChunkedTaskStream, Dict[str, np.ndarray]]]] = {}
+    for s, batch in batches:
+        by_device.setdefault(s.task.device_name, []).append((s, batch))
+    for dname, members in by_device.items():
+        arrival = np.concatenate([b["arrival"] for _, b in members])
+        if arrival.size == 0:
+            for _, b in members:
+                b["dev_start"] = np.empty(0)
+                b["dev_done"] = np.empty(0)
+            continue
+        work = np.concatenate([b["dev_flops"] for _, b in members])
+        order = np.argsort(arrival, kind="stable")
+        starts, finishes = device_res[dname].sweep(arrival[order], work[order])
+        all_starts = np.empty_like(arrival)
+        all_done = np.empty_like(arrival)
+        all_starts[order] = starts
+        all_done[order] = finishes
+        off = 0
+        for _, b in members:
+            n = b["arrival"].size
+            b["dev_start"] = all_starts[off : off + n]
+            b["dev_done"] = all_done[off : off + n]
+            off += n
+
+
+def _observe_completions(
+    stats: StreamingStats,
+    task_name: str,
+    warmup_s: float,
+    req_ids: np.ndarray,
+    arrival: np.ndarray,
+    completion: np.ndarray,
+    deadline: np.ndarray,
+    positions: np.ndarray,
+    offloaded: np.ndarray,
+    correct: np.ndarray,
+    dev_busy: np.ndarray,
+    srv_busy: np.ndarray,
+    net_busy: np.ndarray,
+) -> int:
+    """Fold final completions into the accumulator; return warmup discards."""
+    keep = arrival >= warmup_s
+    kept = int(np.count_nonzero(keep))
+    if kept:
+        stats.observe(
+            task_name,
+            req_ids[keep].astype(np.int64),
+            arrival[keep],
+            completion[keep],
+            deadline[keep],
+            positions[keep].astype(np.int64),
+            offloaded[keep].astype(bool),
+            correct[keep].astype(bool),
+            dev_busy[keep],
+            srv_busy[keep],
+            net_busy[keep],
+        )
+    return int(arrival.size) - kept
+
+
+def _advance_task_window(
+    s: _ChunkedTaskStream,
+    batch: Dict[str, np.ndarray],
+    threshold: float,
+    stats: StreamingStats,
+    warmup_s: float,
+    task_server_res: Dict[str, FifoResource],
+    task_uplink_res: Dict[str, LinkResource],
+    task_downlink_res: Dict[str, LinkResource],
+) -> int:
+    """Advance one task through uplink → server → downlink for one window.
+
+    Locally-completed requests from ``batch`` are observed immediately;
+    offloaded ones enter the stage buffers and are flushed stage by stage up
+    to ``threshold`` (the window edge, or ``inf`` on the final drain).
+    Returns the number of warmup-discarded completions this window.
+    """
+    name = s.task.name
+    discarded = 0
+    zeros = lambda m: np.zeros(m)  # noqa: E731 - tiny local helper
+
+    if batch["arrival"].size:
+        off = batch["offloaded"]
+        loc = ~off
+        if np.any(loc):
+            discarded += _observe_completions(
+                stats, name, warmup_s,
+                batch["req_id"][loc], batch["arrival"][loc],
+                batch["dev_done"][loc], batch["deadline"][loc],
+                batch["positions"][loc], off[loc], batch["correct"][loc],
+                batch["dev_done"][loc] - batch["dev_start"][loc],
+                zeros(int(np.count_nonzero(loc))), zeros(int(np.count_nonzero(loc))),
+            )
+        if np.any(off):
+            m = int(np.count_nonzero(off))
+            cols = {
+                "req_id": batch["req_id"][off].astype(np.float64),
+                "arrival": batch["arrival"][off],
+                "deadline": batch["deadline"][off],
+                "position": batch["positions"][off].astype(np.float64),
+                "correct": batch["correct"][off].astype(np.float64),
+                "dev_busy": batch["dev_done"][off] - batch["dev_start"][off],
+                "net_busy": zeros(m),
+                "srv_busy": zeros(m),
+                "up_bytes": batch["up_bytes"][off],
+                "srv_flops": batch["srv_flops"][off],
+                "down_bytes": batch["down_bytes"][off],
+            }
+            key = batch["dev_done"][off]
+        else:
+            key, cols = _empty_stage_batch()
+    else:
+        key, cols = _empty_stage_batch()
+
+    # uplink: submissions keyed by device completion
+    u_key, u_cols = s.up_buf.push_flush(key, cols, threshold)
+    if u_key.size:
+        u_start, u_deliver = task_uplink_res[name].sweep(u_key, u_cols["up_bytes"])
+        u_cols["net_busy"] = u_deliver - u_start
+    else:
+        u_deliver = u_key
+
+    # server: submissions keyed by uplink delivery
+    s_key, s_cols = s.srv_buf.push_flush(u_deliver, u_cols, threshold)
+    if s_key.size:
+        s_start, s_done = task_server_res[name].sweep(s_key, s_cols["srv_flops"])
+        s_cols["srv_busy"] = s_done - s_start
+    else:
+        s_done = s_key
+
+    # downlink: submissions keyed by server completion
+    d_key, d_cols = s.down_buf.push_flush(s_done, s_cols, threshold)
+    if d_key.size:
+        d_start, d_deliver = task_downlink_res[name].sweep(
+            d_key, d_cols["down_bytes"]
+        )
+        m = d_key.size
+        discarded += _observe_completions(
+            stats, name, warmup_s,
+            d_cols["req_id"], d_cols["arrival"], d_deliver, d_cols["deadline"],
+            d_cols["position"], np.ones(m, dtype=bool), d_cols["correct"],
+            d_cols["dev_busy"], d_cols["srv_busy"],
+            d_cols["net_busy"] + (d_deliver - d_start),
+        )
+    return discarded
+
+
+def _empty_stage_batch() -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    empty = np.empty(0, dtype=np.float64)
+    return empty, {name: empty for name in _STAGE_COLS}
+
+
+def sweep_pipeline_streaming(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cfg,
+    device_res: Dict[str, FifoResource],
+    task_server_res: Dict[str, FifoResource],
+    task_uplink_res: Dict[str, LinkResource],
+    task_downlink_res: Dict[str, LinkResource],
+    stats: StreamingStats,
+) -> Tuple[int, SimCounters]:
+    """Chunked, bounded-memory equivalent of :func:`sweep_pipeline`.
+
+    Realizes arrivals in windows of roughly ``cfg.chunk_size`` requests,
+    sweeps each resource window by window (bit-identical recurrences — see
+    module comment), and folds completions into ``stats`` instead of
+    materializing records.  Mutates the resources exactly as the one-shot
+    sweep would and returns ``(discarded, counters)``; per-request results
+    (and therefore utilizations, counters, and every integer-derived
+    aggregate) are bit-identical to the one-shot sweep on the same seed.
+
+    Memory stays O(chunk + in-flight requests): stage buffers only grow
+    with queue backlog, which is bounded in any stable configuration.
+    """
+    streams = [_ChunkedTaskStream(t, plan, cfg) for t in tasks]
+    total_rate = sum(t.arrival_rate for t in tasks)
+    window_s = max(cfg.chunk_size / total_rate, 1e-9) if total_rate > 0 else cfg.horizon_s
+    warmup = cfg.warmup_s
+    discarded = 0
+
+    t = 0.0
+    while True:
+        t1 = t + window_s
+        last = t1 >= cfg.horizon_s
+        threshold = np.inf if last else t1
+        batches = [(s, s.realize(min(t1, cfg.horizon_s))) for s in streams]
+        _sweep_devices_window(batches, device_res)
+        for s, batch in batches:
+            discarded += _advance_task_window(
+                s, batch, threshold, stats, warmup,
+                task_server_res, task_uplink_res, task_downlink_res,
+            )
+        if last:
+            break
+        t = t1
+
+    total = sum(s.generated for s in streams)
+    if total == 0:
+        raise SimulationError("no requests generated; horizon or rates too small")
+    n_off = sum(s.offloaded_total for s in streams)
+    counters = SimCounters(
+        requests=total,
+        records=total - discarded,
+        discarded_warmup=discarded,
+        events=2 * (total - n_off) + 5 * n_off,
+        replications=1,
+    )
+    return discarded, counters

@@ -5,6 +5,16 @@ additionally carries the per-request event :attr:`SimulationReport.timeline`
 and the :attr:`SimulationReport.registry` of sampled queue-depth /
 utilization gauges and realized-work counters — both ``None`` on ordinary
 runs, so the default path allocates nothing extra.
+
+Streaming runs (``SimulationConfig(streaming=True)``) never materialize one
+:class:`~repro.sim.entities.RequestRecord` per request; instead a
+:class:`StreamingStats` accumulator folds each completed chunk into
+fixed-bin latency histograms and per-task running sums, so memory stays
+bounded at millions of requests.  The resulting
+:class:`SimulationReport` is *records-free*: scalar aggregates (mean
+latency, miss rate, accuracy, goodput, counters) are exact, latency
+quantiles are exact within one histogram bin, and ``records`` holds at most
+``max_records`` reservoir-sampled requests kept for debugging.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.rng import derive
 from repro.sim.entities import RequestRecord
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timeline import Timeline
@@ -110,6 +121,328 @@ class TaskStats:
     mean_queueing_s: float
 
 
+class LatencyHistogram:
+    """Fixed-bin latency histogram with exact counts and running extremes.
+
+    Bins are ``[k·bin_s, (k+1)·bin_s)`` over ``[0, max_s)``; latencies at or
+    beyond ``max_s`` land in an overflow bucket whose exact maximum is
+    tracked, so the histogram never loses counts.  Quantiles are reported as
+    the upper edge of the bin holding the ceil-rank order statistic — exact
+    within one ``bin_s`` of that order statistic.
+    """
+
+    __slots__ = ("bin_s", "max_s", "counts", "overflow", "min_s", "max_seen_s")
+
+    def __init__(self, bin_s: float = 5e-4, max_s: float = 30.0) -> None:
+        if bin_s <= 0 or max_s <= bin_s:
+            raise SimulationError(f"invalid histogram bins: bin_s={bin_s} max_s={max_s}")
+        self.bin_s = bin_s
+        self.max_s = max_s
+        self.counts = np.zeros(int(np.ceil(max_s / bin_s)), dtype=np.int64)
+        self.overflow = 0
+        self.min_s = float("inf")
+        self.max_seen_s = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum()) + self.overflow
+
+    def observe(self, latencies: np.ndarray) -> None:
+        """Fold a chunk of latencies (seconds) into the histogram."""
+        if latencies.size == 0:
+            return
+        self.min_s = min(self.min_s, float(latencies.min()))
+        self.max_seen_s = max(self.max_seen_s, float(latencies.max()))
+        idx = (latencies / self.bin_s).astype(np.int64)
+        over = idx >= self.counts.size
+        self.overflow += int(np.count_nonzero(over))
+        inside = idx[~over]
+        if inside.size:
+            self.counts += np.bincount(inside, minlength=self.counts.size)
+
+    def quantile(self, q: float) -> float:
+        """Latency of the ceil-rank order statistic at percentile ``q``.
+
+        Returns the upper edge of that element's bin (exact running max for
+        the overflow region), so the error versus the exact order statistic
+        is at most ``bin_s``.
+        """
+        n = self.count
+        if n == 0:
+            return float("nan")
+        if not (0.0 <= q <= 100.0):
+            raise SimulationError(f"quantile {q} outside [0, 100]")
+        rank = int(np.ceil((n - 1) * q / 100.0))  # 0-based ceil rank
+        cum = np.cumsum(self.counts)
+        if rank >= int(cum[-1]):  # lands in the overflow bucket
+            return self.max_seen_s
+        b = int(np.searchsorted(cum, rank + 1, side="left"))
+        return (b + 1) * self.bin_s
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Exact accumulation of ``other`` (same binning) into ``self``."""
+        if self.bin_s != other.bin_s or self.max_s != other.max_s:
+            raise SimulationError(
+                "cannot merge histograms with different binning: "
+                f"({self.bin_s}, {self.max_s}) vs ({other.bin_s}, {other.max_s})"
+            )
+        self.counts += other.counts
+        self.overflow += other.overflow
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_seen_s = max(self.max_seen_s, other.max_seen_s)
+        return self
+
+
+class _KahanSum:
+    """Neumaier-compensated running sum (order-stable, near-exact means)."""
+
+    __slots__ = ("total", "_comp")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._comp = 0.0
+
+    def add(self, value: float) -> None:
+        t = self.total + value
+        if abs(self.total) >= abs(value):
+            self._comp += (self.total - t) + value
+        else:
+            self._comp += (value - t) + self.total
+        self.total = t
+
+    @property
+    def value(self) -> float:
+        return self.total + self._comp
+
+
+class StreamingTaskStats:
+    """Bounded-memory running statistics of one task's request stream."""
+
+    __slots__ = (
+        "hist", "count", "met", "correct", "offloaded", "exit_sum",
+        "lat_sum", "queue_sum", "max_latency_s",
+    )
+
+    def __init__(self, bin_s: float, max_s: float) -> None:
+        self.hist = LatencyHistogram(bin_s, max_s)
+        self.count = 0
+        self.met = 0
+        self.correct = 0
+        self.offloaded = 0
+        self.exit_sum = 0  # integer positions: the sum is exact
+        self.lat_sum = _KahanSum()
+        self.queue_sum = _KahanSum()
+        self.max_latency_s = float("-inf")
+
+    def observe(
+        self,
+        latency: np.ndarray,
+        met: np.ndarray,
+        correct: np.ndarray,
+        offloaded: np.ndarray,
+        positions: np.ndarray,
+        queueing: np.ndarray,
+    ) -> None:
+        if latency.size == 0:
+            return
+        self.count += int(latency.size)
+        self.met += int(np.count_nonzero(met))
+        self.correct += int(np.count_nonzero(correct))
+        self.offloaded += int(np.count_nonzero(offloaded))
+        self.exit_sum += int(positions.sum())
+        self.lat_sum.add(float(latency.sum()))
+        self.queue_sum.add(float(queueing.sum()))
+        self.max_latency_s = max(self.max_latency_s, float(latency.max()))
+        self.hist.observe(latency)
+
+    def merge(self, other: "StreamingTaskStats") -> "StreamingTaskStats":
+        self.count += other.count
+        self.met += other.met
+        self.correct += other.correct
+        self.offloaded += other.offloaded
+        self.exit_sum += other.exit_sum
+        self.lat_sum.add(other.lat_sum.value)
+        self.queue_sum.add(other.queue_sum.value)
+        self.max_latency_s = max(self.max_latency_s, other.max_latency_s)
+        self.hist.merge(other.hist)
+        return self
+
+    def to_task_stats(self) -> TaskStats:
+        n = self.count
+        if n == 0:
+            raise SimulationError("no completions to summarize")
+        return TaskStats(
+            count=n,
+            mean_latency_s=self.lat_sum.value / n,
+            p50_latency_s=self.hist.quantile(50),
+            p95_latency_s=self.hist.quantile(95),
+            p99_latency_s=self.hist.quantile(99),
+            max_latency_s=self.max_latency_s,
+            miss_rate=(n - self.met) / n,
+            accuracy=self.correct / n,
+            offload_fraction=self.offloaded / n,
+            mean_exit_position=self.exit_sum / n,
+            mean_queueing_s=self.queue_sum.value / n,
+        )
+
+
+class StreamingStats:
+    """Columnar metrics accumulator for the chunked streaming sweep.
+
+    Consumes completed requests chunk by chunk as NumPy columns — no
+    per-request Python objects — and keeps per-task running sums, fixed-bin
+    latency histograms, and (optionally) a seeded reservoir sample of up to
+    ``max_records`` :class:`RequestRecord` objects for debugging.  Integer-
+    derived aggregates (counts, miss/accuracy/offload ratios, goodput) are
+    exact; latency/queueing means are compensated sums (equal to the
+    record-backed values within accumulation rounding, ~1 ulp); quantiles
+    are exact within one histogram bin.  Accumulators from independent
+    shards :meth:`merge` exactly (counts add, histograms add bin-wise).
+    """
+
+    def __init__(
+        self,
+        bin_s: float = 5e-4,
+        max_s: float = 30.0,
+        max_records: int = 0,
+        seed: Union[int, None] = 0,
+    ) -> None:
+        if max_records < 0:
+            raise SimulationError("max_records must be >= 0")
+        self.bin_s = bin_s
+        self.max_s = max_s
+        self.max_records = max_records
+        self.per_task: Dict[str, StreamingTaskStats] = {}
+        self.reservoir: List[RequestRecord] = []
+        self._seen = 0  # completions offered to the reservoir so far
+        self._rng = derive(seed, "reservoir") if max_records > 0 else None
+
+    # -- accumulation ---------------------------------------------------------
+
+    def observe(
+        self,
+        task_name: str,
+        req_ids: np.ndarray,
+        arrival: np.ndarray,
+        completion: np.ndarray,
+        deadline: np.ndarray,
+        positions: np.ndarray,
+        offloaded: np.ndarray,
+        correct: np.ndarray,
+        dev_busy: np.ndarray,
+        srv_busy: np.ndarray,
+        net_busy: np.ndarray,
+    ) -> None:
+        """Fold one completed (already warmup-filtered) chunk of one task."""
+        if arrival.size == 0:
+            return
+        if np.any(completion < arrival):
+            bad = int(np.argmax(completion < arrival))
+            raise SimulationError(
+                f"request {task_name}#{int(req_ids[bad])} completes before it arrives"
+            )
+        latency = completion - arrival
+        met = completion <= deadline + 1e-12  # matches RequestRecord.met_deadline
+        queueing = np.maximum(0.0, latency - (dev_busy + srv_busy + net_busy))
+        stats = self.per_task.get(task_name)
+        if stats is None:
+            stats = self.per_task[task_name] = StreamingTaskStats(self.bin_s, self.max_s)
+        stats.observe(latency, met, correct, offloaded, positions, queueing)
+        if self._rng is not None:
+            self._sample(
+                task_name, req_ids, arrival, completion, deadline, positions,
+                offloaded, correct, dev_busy, srv_busy, net_busy,
+            )
+
+    def _sample(self, task_name, req_ids, arrival, completion, deadline,
+                positions, offloaded, correct, dev_busy, srv_busy, net_busy) -> None:
+        """Algorithm-R reservoir over the accumulation order (seeded)."""
+
+        def make(i: int) -> RequestRecord:
+            return RequestRecord(
+                task_name=task_name,
+                req_id=int(req_ids[i]),
+                arrival_s=float(arrival[i]),
+                completion_s=float(completion[i]),
+                deadline_s=float(deadline[i]),
+                exit_position=int(positions[i]),
+                offloaded=bool(offloaded[i]),
+                correct=bool(correct[i]),
+                dev_busy_s=float(dev_busy[i]),
+                srv_busy_s=float(srv_busy[i]),
+                net_busy_s=float(net_busy[i]),
+            )
+
+        k = self.max_records
+        m = int(arrival.size)
+        start = 0
+        while len(self.reservoir) < k and start < m:
+            self.reservoir.append(make(start))
+            self._seen += 1
+            start += 1
+        if start >= m:
+            return
+        # vectorized accept test: item t (0-based overall) replaces a random
+        # slot with probability k/(t+1)
+        t = self._seen + np.arange(m - start, dtype=np.int64)
+        slots = self._rng.integers(0, t + 1)
+        for offset in np.flatnonzero(slots < k).tolist():
+            self.reservoir[int(slots[offset])] = make(start + offset)
+        self._seen += m - start
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return sum(s.count for s in self.per_task.values())
+
+    @property
+    def met(self) -> int:
+        return sum(s.met for s in self.per_task.values())
+
+    @property
+    def correct_count(self) -> int:
+        return sum(s.correct for s in self.per_task.values())
+
+    @property
+    def latency_sum_s(self) -> float:
+        total = _KahanSum()
+        for name in sorted(self.per_task):
+            total.add(self.per_task[name].lat_sum.value)
+        return total.value
+
+    def quantile(self, q: float) -> float:
+        """Global latency quantile from the bin-wise sum of task histograms."""
+        merged: Optional[LatencyHistogram] = None
+        for name in sorted(self.per_task):
+            h = self.per_task[name].hist
+            if merged is None:
+                merged = LatencyHistogram(h.bin_s, h.max_s)
+            merged.merge(h)
+        if merged is None:
+            return float("nan")
+        return merged.quantile(q)
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Exact shard merge: counts/histograms add, reservoirs concatenate.
+
+        The concatenated reservoir is a per-shard (not globally uniform)
+        sample, truncated to ``max_records`` — it exists for debugging, not
+        statistics.
+        """
+        if self.bin_s != other.bin_s or self.max_s != other.max_s:
+            raise SimulationError("cannot merge streaming stats with different binning")
+        for name, stats in other.per_task.items():
+            mine = self.per_task.get(name)
+            if mine is None:
+                mine = self.per_task[name] = StreamingTaskStats(self.bin_s, self.max_s)
+            mine.merge(stats)
+        self.max_records = max(self.max_records, other.max_records)
+        self.reservoir = (self.reservoir + other.reservoir)[: self.max_records]
+        self._seen += other._seen
+        return self
+
+
 class MetricsCollector:
     """Accumulates :class:`RequestRecord` objects during a run."""
 
@@ -145,7 +478,15 @@ class MetricsCollector:
 
 @dataclass
 class SimulationReport:
-    """Aggregated outcome of one simulation run."""
+    """Aggregated outcome of one simulation run.
+
+    Comes in two flavors.  *Record-backed* reports carry every completed
+    request in :attr:`records` and compute aggregates from cached columnar
+    arrays.  *Streaming* reports (``stream`` is set) carry the bounded
+    :class:`StreamingStats` accumulator instead; :attr:`records` then holds
+    at most the reservoir sample, and aggregates dispatch to the
+    accumulator's running sums and histograms.
+    """
 
     horizon_s: float
     records: List[RequestRecord]
@@ -159,6 +500,12 @@ class SimulationReport:
     #: deterministic work counters (requests/records/events/replications);
     #: identical between the event-loop and fast paths by construction
     counters: SimCounters = field(default_factory=SimCounters)
+    #: streaming accumulator (records-free runs only, else None)
+    stream: Optional[StreamingStats] = None
+    #: lazily built columnar arrays over ``records`` (latency/met/correct/…)
+    _cache: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def from_records(
@@ -199,29 +546,98 @@ class SimulationReport:
             registry=registry,
         )
 
+    @classmethod
+    def from_stream(
+        cls,
+        stream: StreamingStats,
+        horizon_s: float,
+        utilizations: Dict[str, float],
+        discarded: int = 0,
+        timeline: Optional[Timeline] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "SimulationReport":
+        """Records-free report over a :class:`StreamingStats` accumulator.
+
+        ``records`` holds only the (possibly empty) reservoir sample; every
+        aggregate dispatches to the accumulator's running sums.
+        """
+        per_task = {
+            name: stats.to_task_stats()
+            for name, stats in sorted(stream.per_task.items())
+            if stats.count
+        }
+        return cls(
+            horizon_s=horizon_s,
+            records=list(stream.reservoir),
+            per_task=per_task,
+            utilizations=utilizations,
+            discarded_warmup=discarded,
+            timeline=timeline,
+            registry=registry,
+            stream=stream,
+        )
+
     # -- aggregates -----------------------------------------------------------
 
     @property
+    def streaming(self) -> bool:
+        """True when this report is records-free (streaming accumulator)."""
+        return self.stream is not None
+
+    @property
     def total_requests(self) -> int:
+        if self.stream is not None:
+            return self.stream.count
         return len(self.records)
 
+    def _columns(self) -> Dict[str, np.ndarray]:
+        """Columnar views over ``records``, built once and cached."""
+        cols = self._cache.get("columns")
+        if cols is None:
+            n = len(self.records)
+            lat = np.empty(n, dtype=np.float64)
+            met = np.empty(n, dtype=bool)
+            correct = np.empty(n, dtype=bool)
+            for i, r in enumerate(self.records):
+                lat[i] = r.latency_s
+                met[i] = r.met_deadline
+                correct[i] = r.correct
+            cols = {"latency": lat, "met": met, "correct": correct}
+            self._cache["columns"] = cols
+        return cols
+
     def latencies(self) -> np.ndarray:
-        return np.array([r.latency_s for r in self.records])
+        """Per-request latency column (cached; record-backed reports only)."""
+        if self.stream is not None:
+            raise SimulationError(
+                "streaming reports keep no per-request latencies; use "
+                "mean_latency_s / percentile_latency_s or rerun with "
+                "streaming=False"
+            )
+        return self._columns()["latency"]
 
     @property
     def mean_latency_s(self) -> float:
+        if self.stream is not None:
+            n = self.stream.count
+            return self.stream.latency_sum_s / n if n else float("nan")
         lat = self.latencies()
         return float(lat.mean()) if lat.size else float("nan")
 
     def percentile_latency_s(self, q: float) -> float:
+        if self.stream is not None:
+            return self.stream.quantile(q)
         lat = self.latencies()
         return float(np.percentile(lat, q)) if lat.size else float("nan")
 
     @property
     def miss_rate(self) -> float:
+        if self.stream is not None:
+            n = self.stream.count
+            return (n - self.stream.met) / n if n else float("nan")
         if not self.records:
             return float("nan")
-        return float(np.mean([not r.met_deadline for r in self.records]))
+        return float(np.mean(~self._columns()["met"]))
 
     @property
     def lost(self) -> int:
@@ -240,14 +656,19 @@ class SimulationReport:
 
     def goodput(self) -> float:
         """Deadline-met completions per second of horizon."""
-        met = sum(1 for r in self.records if r.met_deadline)
+        if self.stream is not None:
+            return self.stream.met / self.horizon_s
+        met = int(np.count_nonzero(self._columns()["met"]))
         return met / self.horizon_s
 
     @property
     def accuracy(self) -> float:
+        if self.stream is not None:
+            n = self.stream.count
+            return self.stream.correct_count / n if n else float("nan")
         if not self.records:
             return float("nan")
-        return float(np.mean([r.correct for r in self.records]))
+        return float(np.mean(self._columns()["correct"]))
 
     def summary(self) -> str:
         """Multi-line human-readable summary."""
@@ -270,35 +691,65 @@ class SimulationReport:
 
 
 def merge_reports(reports: Sequence[SimulationReport]) -> SimulationReport:
-    """Pool replication reports into one aggregate report.
+    """Pool replication (or traffic-cell shard) reports into one aggregate.
 
-    Records are concatenated in replication order (the caller supplies
-    reports indexed by replication, so serial and parallel fan-outs merge
-    identically), per-task statistics are recomputed over the pooled
-    records, utilizations are averaged per resource, and counters merge
-    order-independently via :meth:`SimCounters.merged`.
+    Record-backed reports concatenate records in replication order (the
+    caller supplies reports indexed by replication, so serial and parallel
+    fan-outs merge identically) and recompute per-task statistics over the
+    pool; streaming reports merge their accumulators exactly (counts and
+    histograms add bin-wise).  Mixing the two modes is an error.
+    Utilizations are averaged per resource, counters merge
+    order-independently via :meth:`SimCounters.merged`, and the merged
+    counters are checked for request conservation — a failed merge must not
+    silently drop requests.
+
+    Edge cases: an empty sequence raises :class:`SimulationError`
+    immediately (``from_records([])`` would otherwise yield a report whose
+    aggregates are all NaN with no hint why); reports whose records are all
+    empty merge into an explicit empty report that still carries the pooled
+    utilizations, warmup-discard count, and counters.
     """
     if not reports:
-        raise SimulationError("nothing to merge")
+        raise SimulationError(
+            "merge_reports() needs at least one report; got an empty sequence"
+        )
     if len(reports) == 1:
         return reports[0]
     horizon = reports[0].horizon_s
     if any(r.horizon_s != horizon for r in reports):
         raise SimulationError("cannot merge reports with different horizons")
-    records: List[RequestRecord] = []
-    for r in reports:
-        records.extend(r.records)
+    n_streaming = sum(1 for r in reports if r.stream is not None)
+    if 0 < n_streaming < len(reports):
+        raise SimulationError(
+            "cannot merge streaming and record-backed reports: "
+            f"{n_streaming} of {len(reports)} are streaming"
+        )
     util_keys = list(reports[0].utilizations)
     utils = {
         k: float(np.mean([r.utilizations[k] for r in reports])) for k in util_keys
     }
-    merged = SimulationReport.from_records(
-        records,
-        horizon,
-        utils,
-        discarded=sum(r.discarded_warmup for r in reports),
-    )
+    discarded = sum(r.discarded_warmup for r in reports)
+    if n_streaming:
+        first = reports[0].stream
+        pooled = StreamingStats(first.bin_s, first.max_s, max_records=0)
+        for r in reports:
+            pooled.merge(r.stream)
+        merged = SimulationReport.from_stream(pooled, horizon, utils, discarded)
+    else:
+        records: List[RequestRecord] = []
+        for r in reports:
+            records.extend(r.records)
+        merged = SimulationReport.from_records(
+            records, horizon, utils, discarded=discarded
+        )
     merged.counters = SimCounters.merged(
         {i: r.counters for i, r in enumerate(reports)}
     )
+    if not merged.counters.conserved():
+        c = merged.counters
+        raise SimulationError(
+            "merged counters violate request conservation: "
+            f"requests={c.requests} != records={c.records} + "
+            f"discarded={c.discarded_warmup} + lost={c.lost} + shed={c.shed}"
+        )
     return merged

@@ -109,6 +109,65 @@ class _FailureStateMixin:
         )
 
 
+#: chained-sweep tuning: segments at least this long count as "saturated";
+#: two consecutive shorter segments hand the remainder to the scalar loop
+_CHAIN_MIN_SEGMENT = 4096
+#: cumsum window per chained attempt (bounds worst-case re-scan cost)
+_CHAIN_WINDOW = 65536
+
+
+def _chained_sweep(
+    now: np.ndarray, svc: np.ndarray, busy: float
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """FIFO busy-chain recurrence over jobs in submission order.
+
+    Computes ``start_i = max(now_i, busy_{i-1}); busy_i = start_i + svc_i``
+    with float arithmetic **bit-identical** to the sequential loop: while the
+    resource stays continuously busy the recurrence is a running sum, and
+    ``np.cumsum`` performs the identical sequence of additions (seeded by
+    prepending the segment's start), so whole busy segments vectorize.  The
+    segment boundary test (``now_j > busy_{j-1}``) uses those exact values,
+    so segmentation decisions can never diverge from the loop.  Saturated
+    sweeps (one long busy segment — the regime the streaming simulator
+    targets) collapse to a handful of cumsum passes; when segments turn
+    short (lightly loaded queue, where vectorization cannot win) the
+    remainder falls back to the scalar loop.
+    """
+    n = now.shape[0]
+    starts = np.empty(n, dtype=np.float64)
+    finishes = np.empty(n, dtype=np.float64)
+    i = 0
+    short_segments = 0
+    while i < n and short_segments < 2:
+        start0 = busy if busy > now[i] else now[i]
+        hi = min(n, i + _CHAIN_WINDOW)
+        chain = np.cumsum(np.concatenate(([start0], svc[i:hi])))[1:]
+        breaks = np.flatnonzero(now[i + 1 : hi] > chain[:-1])
+        k = (int(breaks[0]) + 1) if breaks.size else (hi - i)
+        starts[i] = start0
+        starts[i + 1 : i + k] = chain[: k - 1]
+        finishes[i : i + k] = chain[:k]
+        busy = float(chain[k - 1])
+        i += k
+        short_segments = 0 if k >= _CHAIN_MIN_SEGMENT else short_segments + 1
+    if i < n:
+        now_tail = now[i:].tolist()
+        svc_tail = svc[i:].tolist()
+        for j, (t, s) in enumerate(zip(now_tail, svc_tail), start=i):
+            start = busy if busy > t else t
+            busy = start + s
+            starts[j] = start
+            finishes[j] = busy
+    return starts, finishes, busy
+
+
+def _sequential_total(initial: float, values: np.ndarray) -> float:
+    """``((initial + v0) + v1) + ...`` — the scalar accumulation order."""
+    if values.size == 0:
+        return initial
+    return float(np.cumsum(np.concatenate(([initial], values)))[-1])
+
+
 class FifoResource(_FailureStateMixin):
     """Single FIFO server with a fixed service rate (FLOP/s or B/s)."""
 
@@ -182,32 +241,28 @@ class FifoResource(_FailureStateMixin):
         if self.is_down or self.outages or self.speed_factor != 1.0:
             # pragma: no cover - fault runs force the event loop
             raise SimulationError(f"{self.name}: sweep is incompatible with faults")
+        times = np.asarray(times, dtype=np.float64)
+        amounts = np.asarray(amounts, dtype=np.float64)
+        if np.any(amounts < 0):
+            bad = float(amounts[amounts < 0][0])
+            raise SimulationError(f"{self.name}: negative work {bad}")
+        if np.any(times < 0):
+            raise SimulationError(f"{self.name}: negative submit time")
         starts = np.empty(times.shape[0], dtype=np.float64)
         finishes = np.empty(times.shape[0], dtype=np.float64)
-        busy = self._busy_until
-        busy_time = self.busy_time
-        jobs = self.jobs
-        rate = self.rate
-        overhead = self.overhead_s
-        for i, (now, amount) in enumerate(zip(times.tolist(), amounts.tolist())):
-            if amount < 0:
-                raise SimulationError(f"{self.name}: negative work {amount}")
-            if now < 0:
-                raise SimulationError(f"{self.name}: negative submit time")
-            if amount == 0:
-                starts[i] = now
-                finishes[i] = now
-                continue
-            start = busy if busy > now else now  # == max(now, busy)
-            service = amount / rate + overhead
-            busy = start + service
-            busy_time += service
-            jobs += 1
-            starts[i] = start
-            finishes[i] = busy
-        self._busy_until = busy
-        self.busy_time = busy_time
-        self.jobs = jobs
+        nz = np.flatnonzero(amounts > 0)
+        if nz.size < times.shape[0]:  # zero-amount jobs pass through instantly
+            zero = amounts == 0
+            starts[zero] = times[zero]
+            finishes[zero] = times[zero]
+        if nz.size:
+            svc = amounts[nz] / self.rate + self.overhead_s
+            s_nz, f_nz, busy = _chained_sweep(times[nz], svc, self._busy_until)
+            starts[nz] = s_nz
+            finishes[nz] = f_nz
+            self._busy_until = busy
+            self.busy_time = _sequential_total(self.busy_time, svc)
+            self.jobs += int(nz.size)
         return starts, finishes
 
     def utilization(self, horizon_s: float) -> float:
@@ -319,31 +374,46 @@ class LinkResource(_FailureStateMixin):
         if self.is_down or self.outages or self.speed_factor != 1.0:
             # pragma: no cover - fault runs force the event loop
             raise SimulationError(f"{self.name}: sweep is incompatible with faults")
+        times = np.asarray(times, dtype=np.float64)
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        if np.any(nbytes < 0):
+            bad = float(nbytes[nbytes < 0][0])
+            raise SimulationError(f"{self.name}: negative transfer {bad}")
         starts = np.empty(times.shape[0], dtype=np.float64)
         deliveries = np.empty(times.shape[0], dtype=np.float64)
-        busy = self._busy_until
-        busy_time = self.busy_time
-        transfers = self.transfers
         half_rtt = self.rtt_s / 2.0
-        fixed_rate = None if self.trace is not None else self.bandwidth_bps * self.share
-        for i, (now, nb) in enumerate(zip(times.tolist(), nbytes.tolist())):
-            if nb < 0:
-                raise SimulationError(f"{self.name}: negative transfer {nb}")
-            if nb == 0:
-                starts[i] = now
-                deliveries[i] = now
-                continue
-            start = busy if busy > now else now  # == max(now, busy)
-            if fixed_rate is not None:
-                serialized = start + nb / fixed_rate
-            else:
+        if self.trace is not None:
+            # trace integration is inherently per-transfer: keep the loop
+            busy = self._busy_until
+            busy_time = self.busy_time
+            transfers = self.transfers
+            for i, (now, nb) in enumerate(zip(times.tolist(), nbytes.tolist())):
+                if nb == 0:
+                    starts[i] = now
+                    deliveries[i] = now
+                    continue
+                start = busy if busy > now else now  # == max(now, busy)
                 serialized = self._serialization_finish(start, nb)
-            busy = serialized
-            busy_time += serialized - start
-            transfers += 1
-            starts[i] = start
-            deliveries[i] = serialized + half_rtt
-        self._busy_until = busy
-        self.busy_time = busy_time
-        self.transfers = transfers
+                busy = serialized
+                busy_time += serialized - start
+                transfers += 1
+                starts[i] = start
+                deliveries[i] = serialized + half_rtt
+            self._busy_until = busy
+            self.busy_time = busy_time
+            self.transfers = transfers
+            return starts, deliveries
+        nz = np.flatnonzero(nbytes > 0)
+        if nz.size < times.shape[0]:  # zero-byte transfers complete instantly
+            zero = nbytes == 0
+            starts[zero] = times[zero]
+            deliveries[zero] = times[zero]
+        if nz.size:
+            svc = nbytes[nz] / (self.bandwidth_bps * self.share)
+            s_nz, serialized, busy = _chained_sweep(times[nz], svc, self._busy_until)
+            starts[nz] = s_nz
+            deliveries[nz] = serialized + half_rtt
+            self._busy_until = busy
+            self.busy_time = _sequential_total(self.busy_time, serialized - s_nz)
+            self.transfers += int(nz.size)
         return starts, deliveries

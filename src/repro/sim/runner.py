@@ -51,8 +51,14 @@ from repro.rng import derive, derive_from, derive_material, derive_seed
 from repro.sim.engine import Simulator
 from repro.sim.entities import Request, RequestRecord
 from repro.sim.execution import realize_request
-from repro.sim.fastpath import sweep_pipeline
-from repro.sim.metrics import MetricsCollector, SimCounters, SimulationReport
+from repro.sim.fastpath import sweep_pipeline, sweep_pipeline_streaming
+from repro.sim.metrics import (
+    MetricsCollector,
+    SimCounters,
+    SimulationReport,
+    StreamingStats,
+    merge_reports,
+)
 from repro.sim.queues import FifoResource, LinkResource
 from repro.sim.sources import arrival_times
 from repro.telemetry.timeline import TimelineRecorder
@@ -89,6 +95,21 @@ class SimulationConfig:
     #: recovery ladder for failed offload stages; requires ``faults``.
     #: None under a schedule is the no-policy baseline (failures -> lost)
     failure_policy: Optional[FailurePolicy] = None
+    #: bounded-memory mode: sweep the pipeline in chunks and fold completions
+    #: into a streaming accumulator instead of materializing one record per
+    #: request; the report becomes records-free (see
+    #: :class:`repro.sim.metrics.StreamingStats`).  Requires the fast path
+    #: and is incompatible with telemetry and fault schedules.
+    streaming: bool = False
+    #: target requests per streaming window (memory/throughput trade-off;
+    #: any value yields identical results)
+    chunk_size: int = 65536
+    #: reservoir-sampled records to keep on streaming runs (0 = none)
+    max_records: int = 0
+    #: latency histogram resolution: quantiles are exact within one bin
+    hist_bin_s: float = 5e-4
+    #: latencies at/above this land in the histogram overflow bucket
+    hist_max_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -105,6 +126,28 @@ class SimulationConfig:
             raise ConfigError("sim_workers must be >= 1")
         if self.failure_policy is not None and self.faults is None:
             raise ConfigError("failure_policy requires a fault schedule")
+        if self.chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        if self.max_records < 0:
+            raise ConfigError("max_records must be >= 0")
+        if self.hist_bin_s <= 0 or self.hist_max_s <= self.hist_bin_s:
+            raise ConfigError(
+                f"invalid histogram bins: hist_bin_s={self.hist_bin_s} "
+                f"hist_max_s={self.hist_max_s}"
+            )
+        if self.streaming:
+            if not self.fast_path:
+                raise ConfigError("streaming requires the fast path")
+            if self.telemetry:
+                raise ConfigError(
+                    "streaming is incompatible with telemetry (gauges sample "
+                    "on event boundaries the chunked sweep does not visit)"
+                )
+            if self.faults is not None:
+                raise ConfigError(
+                    "streaming is incompatible with fault schedules (fault "
+                    "runs use the failure-aware event loop)"
+                )
         if self.faults is not None:
             # FaultEvent/FailurePolicy validate their own knobs; here we pin
             # the schedule against *this* run: a window opening at or beyond
@@ -215,8 +258,28 @@ def simulate_plan(
         return simulate_with_faults(tasks, plan, cluster, cfg, lm, rec, plan_updates)
     if plan_updates:
         raise ConfigError("plan_updates require a fault schedule")
+    if cfg.streaming and rec is not None:
+        raise ConfigError("streaming runs cannot attach a telemetry recorder")
     resources = _build_resources(tasks, plan, cluster, lm, cfg, rec)
     device_res, task_server_res, task_uplink_res, task_downlink_res = resources
+
+    if cfg.streaming:
+        stats = StreamingStats(
+            cfg.hist_bin_s, cfg.hist_max_s, cfg.max_records, seed=cfg.seed
+        )
+        discarded, counters = sweep_pipeline_streaming(
+            tasks, plan, cfg,
+            device_res, task_server_res, task_uplink_res, task_downlink_res,
+            stats,
+        )
+        report = SimulationReport.from_stream(
+            stats,
+            cfg.horizon_s,
+            _utilizations(device_res, task_server_res, cfg.horizon_s),
+            discarded=discarded,
+        )
+        report.counters = counters
+        return report
 
     if rec is None and cfg.fast_path:
         records, discarded, counters = sweep_pipeline(
@@ -392,13 +455,56 @@ def run_replications(
     jobs = [
         (tasks, plan, cluster, c, latency_model, tuple(plan_updates)) for c in cfgs
     ]
-    workers = min(config.sim_workers, len(jobs))
-    if workers > 1 and not config.telemetry and len(jobs) > 1:
+    return _fan_out(jobs, min(config.sim_workers, len(jobs)), config.telemetry)
+
+
+def _fan_out(jobs, workers: int, telemetry: bool) -> List[SimulationReport]:
+    """Run simulation jobs on a process pool, serially when unavailable."""
+    if workers > 1 and not telemetry and len(jobs) > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(_replication_worker, jobs))
         except ReproError:
-            raise  # a replication genuinely failed; don't mask it by retrying
+            raise  # a job genuinely failed; don't mask it by retrying
         except Exception:
             pass  # pool unavailable (pickling, sandboxing): fall back to serial
     return [_replication_worker(j) for j in jobs]
+
+
+def _cell_config(cfg: SimulationConfig, cell: int) -> SimulationConfig:
+    """Per-cell config: cell 0 keeps ``cfg.seed`` verbatim (one cell ≡ one run)."""
+    seed = cfg.seed if cell == 0 else derive_seed(cfg.seed, "cell", cell)
+    return replace(cfg, seed=seed, streaming=True, replications=1, sim_workers=1)
+
+
+def run_cells(
+    tasks: Sequence[TaskSpec],
+    plan: JointPlan,
+    cluster: EdgeCluster,
+    config: SimulationConfig,
+    cells: int,
+    latency_model: Optional[LatencyModel] = None,
+) -> SimulationReport:
+    """Shard one workload across ``cells`` independent traffic cells.
+
+    Each cell simulates the same plan over its own resource slice with every
+    task's arrival rate thinned to ``rate / cells`` — for Poisson arrivals
+    this is the exact decomposition of the full-rate stream into independent
+    substreams, so the merged report covers the same total offered load.
+    Cell ``c`` derives its seed as ``derive_seed(seed, "cell", c)`` (cell 0
+    keeps the base seed, so ``cells=1`` reproduces a plain streaming
+    :func:`simulate_plan` byte-for-byte); with ``config.sim_workers > 1``
+    cells fan out over a process pool, and because the streaming
+    accumulators merge exactly, the merged counters, histograms, and integer
+    aggregates are identical regardless of worker count or completion order.
+    Cells force ``streaming=True``: the bounded accumulator is what makes
+    the merge exact and the fan-out worthwhile.
+    """
+    if cells < 1:
+        raise ConfigError("cells must be >= 1")
+    scaled = [replace(t, arrival_rate=t.arrival_rate / cells) for t in tasks]
+    jobs = [
+        (scaled, plan, cluster, _cell_config(config, c), latency_model, ())
+        for c in range(cells)
+    ]
+    return merge_reports(_fan_out(jobs, min(config.sim_workers, cells), False))

@@ -140,6 +140,177 @@ def arrival_times(
     return MMPPArrivals(low, high, mean_low_s, mean_high_s).generate(horizon_s, seed)
 
 
+class ArrivalStream:
+    """Incremental arrival generation for the chunked streaming sweep.
+
+    Yields the *same* arrival times as the one-shot ``arrival_times`` call
+    for the same seed, but window by window:  :meth:`take_until` returns the
+    arrivals in ``[previous boundary, t_end)`` and can be called with
+    increasing boundaries until the horizon.  Bit-identity holds because
+    NumPy ``Generator`` draws are stream-sequential — splitting one
+    ``rng.exponential(size=n)`` call into several smaller calls consumes the
+    identical underlying bit stream and yields the identical values — so the
+    gap sequence (and therefore every arrival time) matches the one-shot
+    array exactly, independent of the window boundaries.
+
+    Subclasses implement :meth:`_refill`, which extends the internal buffer
+    past ``t_end`` (or to the horizon) while consuming the RNG in exactly
+    the order the corresponding one-shot generator does.
+    """
+
+    def __init__(self, horizon_s: float) -> None:
+        if horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        self.horizon_s = horizon_s
+        self._buffer = np.empty(0, dtype=np.float64)
+        self._cursor = 0.0  # previous window boundary
+        self._exhausted = False
+
+    def _refill(self, t_end: float) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def take_until(self, t_end: float) -> np.ndarray:
+        """Arrivals in ``[previous boundary, min(t_end, horizon))``."""
+        if t_end < self._cursor:
+            raise ConfigError(
+                f"window end {t_end:.6g} precedes cursor {self._cursor:.6g}"
+            )
+        t_end = min(t_end, self.horizon_s)
+        while not self._exhausted and (
+            self._buffer.size == 0 or self._buffer[-1] < t_end
+        ):
+            self._refill(t_end)
+        split = int(np.searchsorted(self._buffer, t_end, side="left"))
+        out = self._buffer[:split]
+        self._buffer = self._buffer[split:]
+        self._cursor = t_end
+        return out[out < self.horizon_s]
+
+
+class PoissonStream(ArrivalStream):
+    """Chunked :class:`PoissonArrivals` (identical gap sequence)."""
+
+    #: exponential gaps drawn per refill; any value yields the same arrivals
+    #: (stream-sequential draws), this one just amortizes call overhead
+    BLOCK = 8192
+
+    def __init__(self, rate: float, horizon_s: float, seed: SeedLike = None) -> None:
+        if rate <= 0:
+            raise ConfigError(f"Poisson rate must be positive, got {rate}")
+        super().__init__(horizon_s)
+        self.rate = rate
+        self._rng = as_generator(seed)
+        self._t = 0.0  # last generated arrival (buffer tail)
+
+    def _refill(self, t_end: float) -> None:
+        del t_end
+        if self._t >= self.horizon_s:
+            self._exhausted = True
+            return
+        gaps = self._rng.exponential(1.0 / self.rate, size=self.BLOCK)
+        times = self._t + np.cumsum(gaps)
+        self._t = float(times[-1])
+        self._buffer = np.concatenate([self._buffer, times])
+
+
+class DeterministicStream(ArrivalStream):
+    """Chunked :class:`DeterministicArrivals` (pure arithmetic, no RNG)."""
+
+    def __init__(self, rate: float, horizon_s: float, seed: SeedLike = None) -> None:
+        del seed
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        super().__init__(horizon_s)
+        self.rate = rate
+        self._next = 1  # next arrival index (arrival k occurs at k/rate)
+
+    def _refill(self, t_end: float) -> None:
+        period = 1.0 / self.rate
+        # mirror the one-shot construction exactly: times = arange(...) * period
+        last = int(np.floor(self.horizon_s / period))
+        hi = min(self._next + 8192, last + 1)
+        if self._next > last:
+            self._exhausted = True
+            return
+        times = np.arange(self._next, hi) * period
+        self._next = hi
+        if hi > last:
+            self._exhausted = True
+        self._buffer = np.concatenate([self._buffer, times[times < self.horizon_s]])
+
+
+class MMPPStream(ArrivalStream):
+    """Chunked :class:`MMPPArrivals`, consuming draws in the one-shot order.
+
+    The one-shot generator alternates phases (one exponential holding-time
+    draw each) and draws per-arrival gaps one at a time, discarding the
+    overshoot draw that crosses the phase boundary; this stream replays that
+    exact sequence, so the produced arrivals are bit-identical.
+    """
+
+    def __init__(self, process: MMPPArrivals, horizon_s: float, seed: SeedLike = None) -> None:
+        super().__init__(horizon_s)
+        self.process = process
+        self._rng = as_generator(seed)
+        self._t = 0.0
+        self._high = bool(self._rng.integers(2))
+
+    def _refill(self, t_end: float) -> None:
+        del t_end
+        p = self.process
+        if self._t >= self.horizon_s:
+            self._exhausted = True
+            return
+        out = []
+        # one phase per refill: the arrivals of a phase share one rate
+        hold = float(
+            self._rng.exponential(p.mean_high_s if self._high else p.mean_low_s)
+        )
+        phase_end = min(self._t + hold, self.horizon_s)
+        rate = p.high_rate if self._high else p.low_rate
+        tt = self._t
+        while True:
+            tt += float(self._rng.exponential(1.0 / rate))
+            if tt >= phase_end:
+                break
+            out.append(tt)
+        self._t = phase_end
+        self._high = not self._high
+        if out:
+            self._buffer = np.concatenate([self._buffer, np.array(out)])
+        if self._t >= self.horizon_s:
+            self._exhausted = True
+
+
+def arrival_stream(
+    rate: float,
+    horizon_s: float,
+    arrival: str = "poisson",
+    burst_factor: float = 4.0,
+    seed: SeedLike = None,
+) -> ArrivalStream:
+    """Chunked counterpart of :func:`arrival_times`.
+
+    Consuming the returned stream window by window yields exactly the
+    arrivals ``arrival_times(rate, horizon_s, arrival, burst_factor, seed)``
+    returns in one array, for any window boundaries — the contract the
+    streaming sweep's bit-identity rests on.
+    """
+    if arrival == "poisson":
+        return PoissonStream(rate, horizon_s, seed)
+    if arrival == "deterministic":
+        return DeterministicStream(rate, horizon_s, seed)
+    if arrival != "mmpp":
+        raise ConfigError(f"unknown arrival process {arrival!r}")
+    high = rate * burst_factor
+    mean_low_s, mean_high_s = 5.0, 1.0
+    low = (rate * (mean_low_s + mean_high_s) - high * mean_high_s) / mean_low_s
+    low = max(low, rate * 0.05)
+    return MMPPStream(
+        MMPPArrivals(low, high, mean_low_s, mean_high_s), horizon_s, seed
+    )
+
+
 @dataclass(frozen=True)
 class TraceArrivals:
     """Replay explicit arrival timestamps (strictly increasing)."""
