@@ -1,0 +1,22 @@
+"""E17 bench: sharded control plane vs centralized vs best response.
+
+The experiment's default sizes (1k–4k tasks) are gate territory, not bench
+territory — here a scaled-down instance keeps the bench seconds-fast while
+still exercising every arm (shard solves, migration, best response).
+"""
+
+from conftest import run_and_report
+from repro.experiments import e17_control_plane
+
+#: One small instance: 64 tasks on 8 servers split into 4 shards.
+BENCH_SIZES = ((64, 8, 4),)
+
+
+def test_e17_control_plane(benchmark):
+    r = run_and_report(benchmark, e17_control_plane.run, sizes=BENCH_SIZES)
+    arms = {row[3] for row in r.rows}
+    assert arms == {"centralized", "sharded", "decentralized"}
+    # all three arms produced finite objectives on the bench instance
+    for row in r.rows:
+        assert row[5] > 0
+    assert "64x8" in r.extras["speedup"]

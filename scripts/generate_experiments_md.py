@@ -3,7 +3,7 @@
 
     python scripts/generate_experiments_md.py [output-path]
 
-Runs every registered experiment (E1-E16 + ablations A1-A6) at
+Runs every registered experiment (E1-E17 + ablations A1-A6) at
 benchmark-sized knobs, renders the measured tables with the reconstructed
 paper-expectation commentary, and writes the record.  Seeds are fixed, so
 the output is bit-reproducible on a given build.
@@ -25,6 +25,7 @@ KNOBS = {
     "E14": dict(horizon_s=40.0),
     "E15": dict(horizon_s=15.0),
     "E16": dict(horizon_s=15.0),
+    "E17": dict(sizes=((64, 8, 4), (192, 16, 8))),
     "A4": dict(loads=(8, 24), horizon_s=15.0),
 }
 
@@ -38,7 +39,7 @@ repository measures.  Absolute milliseconds are properties of the simulated
 substrate, not of the authors' testbed; the claims being reproduced are the
 *shapes*: who wins, by roughly what factor, and where crossovers fall.
 
-Sections E1–E16 are the reconstructed evaluation; sections A1–A6 ablate this
+Sections E1–E17 are the reconstructed evaluation; sections A1–A6 ablate this
 repository's own design choices (DESIGN.md §4).  Regenerate everything with
 
 ```bash
@@ -166,6 +167,18 @@ losses to 0 but pays mean 12.7 s while the survivor drains the backlog;
 failover+repair also loses nothing, sheds 40 requests of one
 now-infeasible task, and restores goodput to within 6% of the fault-free
 static plan (10.5 vs 11.1 rps).""",
+    "E17": """**Expectation (extension, S11/S12, DESIGN.md §11):** the sharded
+hierarchical control plane should sit between the two poles — much faster
+than one centralized solve (per-shard sub-problems are superlinearly
+cheaper), within a few % of its objective (cross-shard migration repairs
+what the partition severs), while the coordination-free best-response game
+bounds how little control-plane machinery can achieve.
+**Measured — shape holds:** at the gate's 4096×128/64-shard instance the
+sharded arm is ≈5–6× faster than centralized at ≤1% objective difference
+(`benchmarks/baselines/shard_baseline.json`; migration accepts a handful of
+moves then quiesces).  At the small sizes here the centralized solver is
+still comfortably fast, so the speedup is modest — the sharded arm's win
+grows with n·m, which is the point of the experiment.""",
 }
 
 SCORECARD = [
@@ -185,6 +198,7 @@ SCORECARD = [
     ("E14", "queueing validation", "close off-saturation, diverges at it", "✅ (3–6% off-saturation)"),
     ("E15", "admission extension", "ratio decays, admitted stay satisfied", "✅"),
     ("E16", "resilience extension", "static loses; ladder recovers; repair restores goodput", "✅ (84 → 0 lost)"),
+    ("E17", "control-plane extension", "sharded ≈ centralized objective at a fraction of the wall", "✅ (≈5× at 4k tasks, <1% gap)"),
     ("A1", "candidate budget", "objective saturates at default budget", "✅ (+2.3% for minimal)"),
     ("A2", "quantization knob", "big wins on thin links, never hurts", "✅ (4.3× at 40 Mbps)"),
     ("A3", "dominance pruning", "identical objectives, ~4× fewer candidates", "✅"),
@@ -192,6 +206,83 @@ SCORECARD = [
     ("A5", "share exponent", "rate-weighted mean minimized at 0.5", "✅ (exact)"),
     ("A6", "threshold refinement", "recovers coarse-grid loss, never hurts", "✅ (+2.2% on single grid)"),
 ]
+
+
+#: Static appendices: wall-clock tables measured on the reference container
+#: by the perf suites (numbers change only when the corresponding baseline
+#: is regenerated, so they are checked in as text, not re-measured here).
+WALL_CLOCK_APPENDICES = """\
+
+## Appendix: simulator wall-clock (fast path + replication fan-out)
+
+Before/after of the simulator hot-path work (`sim/fastpath.py`,
+`run_replications`), measured on the reference container with
+`benchmarks/bench_p02_sim_hotpath.py` on the E4-style workload
+(smart_city × 64 tasks, 60 s horizon, ≈14 k requests per replication).
+Reports are byte-identical between configurations (asserted by the bench),
+so only wall time changes.
+
+| configuration | before (event loop, serial) | after | speedup |
+|---|---:|---:|---:|
+| 1 replication | 1.71 s | 0.14 s (fast path) | ≈12× |
+| 8 replications | 19.1 s | 3.0 s (fast path, 4 workers) | ≈6× |
+| perf-gate workload (16 tasks, 20 s) | 0.146 s | 0.018 s | ≈8× |
+
+The event-loop engine remains the reference: telemetry runs and
+`fast_path=False` use it, and `scripts/perf_gate.py --suite sim`
+re-verifies fast ≡ event identity plus exact `sim.*` counter equality on
+every run.
+
+## Appendix: million-request streaming wall-clock
+
+Capacity study of the chunked streaming sweep
+(`SimulationConfig(streaming=True)` + `run_cells`), measured on the
+reference container (1 CPU) with `scripts/perf_gate.py --suite stream` on
+the perf-gate workload stretched to ≈1M requests (smart_city × 16 tasks,
+aggregate 59 req/s, ≈16 949 s horizon, seed 0; 999 423 requests
+generated). The streaming run's scalar summary matches the record-backed
+run exactly on counters / miss rate / accuracy / goodput and to <1e-9
+relative on mean latency (asserted by the gate on every run).
+
+| configuration | wall | throughput | peak RSS |
+|---|---:|---:|---:|
+| record-backed one-shot (keeps 1M records) | 16.8 s | ≈60 k req/s | 762 MiB |
+| streaming, single cell (`streaming=True`) | 1.4 s | ≈710 k req/s | 160 MiB |
+| streaming, 4 cells serial (`run_cells`) | 1.45 s | ≈690 k req/s | bounded per cell |
+
+Headline: ≈12× the throughput at ≈5× less memory, and memory stays flat
+in the horizon (O(tasks × histogram bins) accumulators, ≈33 MiB above
+interpreter+workload baseline at 1M requests), so multi-hour horizons are
+now simulable. The 4-cell process-pool fan-out merges to byte-identical
+counters vs. the serial fan-out (gated); on this 1-core container the
+pool is pure overhead (0.6× vs. serial cells), so the gated speedup is
+sharded-streaming vs. record-backed (≈10×, floor 3×) and the
+serial-vs-pooled cell ratio is recorded as information in
+`benchmarks/baselines/BENCH_stream.json`. On a ≥4-core machine the cell
+fan-out additionally parallelizes the remaining wall clock.
+
+## Appendix: sharded control-plane wall-clock
+
+The E17 gate instance (`scripts/perf_gate.py --suite shard`), measured on
+the reference container (1 CPU): smart_city × 4096 tasks on 128 servers,
+arrival rates × 0.1 for queue stability, seed 0, local search off in both
+arms at this size (E9 precedent). Wall clocks are the min over repeated
+runs; plans are fully seeded, so objectives and the migration history are
+exact (gated).
+
+| arm | wall | objective | note |
+|---|---:|---:|---|
+| centralized (one joint solve) | ≈25 s | 1.0149 | one 4096×128 assignment + sweeps |
+| sharded, 64 shards (interleave) | ≈4.4 s | 1.0085 | **≈5.7×**; migration history [6, 0] |
+
+The sharded objective lands ~0.6% *better* than centralized here: the
+restricted per-shard search escapes the local optimum the centralized
+descent settles into, and cross-shard migration repairs the partition
+coupling (6 moves, then quiescent). `shards=1` reproduces the centralized
+solver bit-exactly on all 7 reference instances (gated), so the hierarchy
+is pay-as-you-go. Every gate run appends the trajectory to
+`benchmarks/baselines/BENCH_solver.json`.
+"""
 
 
 def phase_breakdown_appendix(num_tasks: int = 64, num_servers: int = 8) -> str:
@@ -248,6 +339,7 @@ def main() -> None:
     body += "\n---\n\n## Summary scorecard\n\n" + render_scorecard(SCORECARD) + "\n"
     print("tracing the E9-sized solve for the phase-breakdown appendix...", flush=True)
     body += phase_breakdown_appendix()
+    body += WALL_CLOCK_APPENDICES
     with open(out_path, "w") as fh:
         fh.write(body)
     print(f"wrote {out_path}")

@@ -5,7 +5,8 @@ Commands:
 - ``list-models`` — the zoo, with FLOPs/params/cut counts;
 - ``profile MODEL DEVICE`` — per-layer latency table;
 - ``solve`` — build a scenario, run the joint optimizer, print (and
-  optionally save) the plan;
+  optionally save) the plan; ``--shards N`` routes the solve through the
+  sharded control plane (partitioned solves + cross-shard migration);
 - ``simulate`` — solve then replay under Poisson load in the simulator;
 - ``experiment ID`` — regenerate one table/figure (E1–E16);
 - ``chaos`` — replay a scenario under a seed-sampled fault schedule, with
@@ -22,7 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
-from repro.core.joint import JointOptimizer
+from repro.core.joint import JointOptimizer, JointSolverConfig
 from repro.core.objectives import Objective
 from repro.devices.latency import LatencyModel
 from repro.devices.presets import DEVICE_PRESETS, SERVER_PRESETS, device_preset
@@ -69,7 +70,14 @@ def _solve(args: argparse.Namespace):
         seed=args.seed,
     )
     objective = Objective(args.objective)
-    result = JointOptimizer(cluster, objective=objective).solve(tasks, seed=args.seed)
+    config = JointSolverConfig(
+        shards=getattr(args, "shards", 1),
+        shard_by=getattr(args, "shard_by", "contiguous"),
+        migration_rounds=getattr(args, "migration_rounds", 3),
+    )
+    result = JointOptimizer(cluster, objective=objective, config=config).solve(
+        tasks, seed=args.seed
+    )
     return cluster, tasks, result
 
 
@@ -81,6 +89,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     print(result.plan.summary())
     print(f"objective: {result.plan.objective_value * 1e3:.2f} ms")
+    stats = getattr(result, "shard_stats", None)
+    if stats and args.shards > 1:
+        print()
+        print(
+            format_table(
+                ["shard", "servers", "tasks", "iters", "converged", "solve_s"],
+                [
+                    (st.shard, len(st.servers), st.num_tasks, st.iterations,
+                     str(st.converged), st.solve_s)
+                    for st in stats
+                ],
+                title=f"shard solves ({args.shard_by})",
+                float_fmt="{:.3f}",
+            )
+        )
+        print(
+            f"migrations/round: {result.migration_history or [0]} "
+            f"({result.perf.migrations} total over "
+            f"{result.perf.migration_rounds} rounds)"
+        )
     if args.output:
         from repro.io import save_joint_plan
 
@@ -302,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
             default=Objective.AVG_LATENCY.value,
         )
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--shards", type=int, default=1,
+            help="partition the servers into N shards and solve through the "
+            "hierarchical coordinator (1 = centralized, bit-identical)",
+        )
+        p.add_argument(
+            "--shard-by", choices=["contiguous", "interleave"],
+            default="contiguous", help="server partition strategy",
+        )
+        p.add_argument(
+            "--migration-rounds", type=int, default=3,
+            help="cross-shard migration rounds after the shard solves",
+        )
         if name == "solve":
             p.add_argument("--output", help="write the plan as JSON")
             p.set_defaults(fn=_cmd_solve)

@@ -15,6 +15,10 @@ Layered as:
   Hungarian-style server assignment.
 - :mod:`repro.core.queueing` — M/M/1 & M/G/1 delay terms for congestion.
 - :mod:`repro.core.joint` — block-coordinate descent joint optimizer.
+- :mod:`repro.core.sharding` — server partitions, shard-local cluster views,
+  deterministic task→shard homing.
+- :mod:`repro.core.coordinator` — hierarchical control plane: parallel shard
+  solves + cross-shard migration rounds.
 - :mod:`repro.core.distributed` — best-response (potential-game) variant.
 - :mod:`repro.core.exhaustive` — brute-force optimum for small instances.
 """
@@ -28,10 +32,12 @@ from repro.core.allocation import (
     sqrt_shares,
 )
 from repro.core.candidates import CandidateSet, build_candidates
+from repro.core.coordinator import ShardedResult, ShardStats, solve_sharded
 from repro.core.distributed import BestResponseResult, best_response_offloading
 from repro.core.exhaustive import exhaustive_optimum
 from repro.core.joint import JointOptimizer, JointResult, JointSolverConfig
 from repro.core.objectives import Objective
+from repro.core.sharding import ShardPlan, ShardView, make_shard_plan
 from repro.core.online import ControllerConfig, EnvironmentSample, OnlineController
 from repro.core.plan import JointPlan, PlanFeatures, SurgeryPlan, TaskSpec
 from repro.core.queueing import mg1_wait, mm1_response, mm1_wait
@@ -51,6 +57,10 @@ __all__ = [
     "JointSolverConfig",
     "Objective",
     "PlanFeatures",
+    "ShardPlan",
+    "ShardStats",
+    "ShardView",
+    "ShardedResult",
     "SurgeryPlan",
     "TaskSpec",
     "admit_tasks",
@@ -60,10 +70,12 @@ __all__ = [
     "build_candidates",
     "evaluate_plan",
     "exhaustive_optimum",
+    "make_shard_plan",
     "mg1_wait",
     "mm1_response",
     "mm1_wait",
     "plan_latency",
     "power_shares",
+    "solve_sharded",
     "sqrt_shares",
 ]

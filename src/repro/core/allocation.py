@@ -177,6 +177,20 @@ def allocate_shares(
     return Allocation(list(assignment), compute, bandwidth)
 
 
+class _LazyLinkBW(dict):
+    """``(device_name, server_idx) -> bandwidth_bps``, fetched on first use."""
+
+    def __init__(self, cluster: "EdgeCluster") -> None:
+        super().__init__()
+        self._cluster = cluster
+
+    def __missing__(self, key: Tuple[str, int]) -> float:
+        name, s = key
+        bw = self._cluster.link(name, self._cluster.servers[s].name).bandwidth_bps
+        self[key] = bw
+        return bw
+
+
 class IncrementalAllocator:
     """Share allocator with O(affected groups) incremental re-solves.
 
@@ -193,8 +207,10 @@ class IncrementalAllocator:
     bandwidths — so the per-trial cost in the joint optimizer's local search
     drops from O(n + groups) dictionary/cluster lookups to O(|group|).
 
-    Instances are immutable after construction and safe to share across
-    parallel restart threads; per-call work counters are passed in explicitly.
+    Instances are safe to share across parallel restart threads: the only
+    post-construction mutation is the lazy link-bandwidth memo, whose entries
+    are deterministic (a racing double-fetch writes the same value); per-call
+    work counters are passed in explicitly.
     """
 
     def __init__(
@@ -218,11 +234,11 @@ class IncrementalAllocator:
         self._base_w = [objective.task_weight(t) * t.arrival_rate for t in self.tasks]
         self._srv_rate = [latency_model.throughput(s) for s in cluster.servers]
         self._dev_name = [t.device_name for t in self.tasks]
-        self._link_bw: Dict[Tuple[str, int], float] = {}
-        for name in set(self._dev_name):
-            for s in range(cluster.num_servers):
-                link = cluster.link(name, cluster.servers[s].name)
-                self._link_bw[(name, s)] = link.bandwidth_bps
+        # link bandwidths resolve lazily: hoisting all devices × servers
+        # upfront is O(n·m) cluster lookups on big instances, while a solve
+        # only ever touches the (device, assigned-server) pairs it visits —
+        # hot-path hits stay plain dict lookups
+        self._link_bw = _LazyLinkBW(cluster)
 
     # -- group kernels ------------------------------------------------------
 

@@ -1,0 +1,511 @@
+"""Hierarchical coordinator: parallel shard solves + cross-shard migration.
+
+The second level of the sharded control plane (first level:
+:mod:`repro.core.sharding`).  :func:`solve_sharded` runs one joint solve per
+shard — each against a :class:`~repro.core.sharding.ShardView`, so shard
+solves pay sub-problem cost for every superlinear piece of the centralized
+solver (Hungarian matching, local-search sweeps, group member scans) — then
+stitches the shard plans into one global solution and runs rounds of
+**cross-shard migration**: a local-search move class that re-homes a task to
+a server in a *foreign* shard when doing so improves the global objective by
+more than a hysteresis margin.  Migration is what recovers (most of) the
+coupling the partition severed: tasks homed to an overloaded shard can spill
+onto under-used servers elsewhere.
+
+Determinism contract (gated by ``perf_gate.py --suite shard``):
+
+- Shard ``s`` solves with seed ``derive_seed(seed, "shard", s)`` for
+  ``s > 0`` and the base seed for shard 0; all seeds are derived upfront in
+  shard order, so results do not depend on execution order.
+- Shard fan-out reuses the solver's one thread pool (``restart_workers``
+  wide); when it runs shards in parallel, each shard runs its restarts
+  serially — pools are never nested — and serial vs parallel fan-out is
+  bit-identical because shards share nothing mutable.
+- A 1-shard solve takes an early path that returns the shard result as-is:
+  the view covers every server in order and homing is the identity, so it is
+  bit-identical to the centralized solver (same descent, same refinement,
+  same packaging).
+- Because servers are partitioned, every share group (per-server compute,
+  per-(device, server) link bandwidth) lives wholly inside one shard; the
+  stitched global allocation is re-solved once from the stitched plan and
+  matches the union of the shard solutions.
+
+Telemetry: shard ``s`` records on the stream block ``1 + s*(restarts+1)``
+(solve root span) through ``(s+1)*(restarts+1)`` (its restarts), so parallel
+shard traces merge deterministically; migration rounds are spans on the
+coordinator's stream 0.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import (
+    Allocation,
+    IncrementalAllocator,
+    solution_latencies,
+    solution_latency_task,
+)
+from repro.core.candidates import (
+    CandidateSet,
+    build_candidates,
+    candidate_cache_stats,
+)
+from repro.core.joint import (
+    JointOptimizer,
+    JointResult,
+    JointSolverConfig,
+    package_plan,
+)
+from repro.core.objectives import Objective
+from repro.core.plan import TaskSpec
+from repro.core.sharding import (
+    AffinityIndex,
+    ShardPlan,
+    ShardView,
+    make_shard_plan,
+)
+from repro.devices.cluster import EdgeCluster
+from repro.devices.latency import LatencyModel
+from repro.errors import ConfigError
+from repro.profiling.counters import PerfCounters
+from repro.rng import SeedLike, derive_seed
+from repro.telemetry.trace import get_tracer
+
+
+@dataclass
+class ShardStats:
+    """Diagnostics of one shard-local solve."""
+
+    shard: int
+    servers: Tuple[int, ...]
+    num_tasks: int
+    iterations: int = 0
+    converged: bool = True
+    objective: float = 0.0  # shard-local objective (penalty-free report)
+    solve_s: float = 0.0
+
+
+@dataclass
+class ShardedResult(JointResult):
+    """A :class:`JointResult` plus control-plane diagnostics.
+
+    ``iterations`` is the max over shards, ``converged`` requires every shard
+    converged *and* migration to have stopped before its round budget, and
+    ``history`` is the global (penalty-surrogate) objective after assembly
+    and after each migration round.
+    """
+
+    shard_plan: Optional[ShardPlan] = None
+    shard_stats: List[ShardStats] = field(default_factory=list)
+    migration_history: List[int] = field(default_factory=list)  # accepted/round
+
+
+def solve_sharded(
+    tasks: Sequence[TaskSpec],
+    cluster: EdgeCluster,
+    latency_model: Optional[LatencyModel] = None,
+    objective: Objective = Objective.AVG_LATENCY,
+    config: Optional[JointSolverConfig] = None,
+    candidates: Optional[Sequence[CandidateSet]] = None,
+    seed: SeedLike = None,
+) -> ShardedResult:
+    """Solve the joint problem through the sharded control plane.
+
+    Partition → parallel shard solves → stitch → migration rounds.  Usually
+    reached through ``JointOptimizer.solve`` with ``config.shards > 1``;
+    calling it directly with ``shards=1`` runs the same machinery degenerate
+    (one shard, no migration) and is bit-identical to the centralized solver.
+    """
+    t_start = time.perf_counter()
+    cfg = config or JointSolverConfig()
+    lm = latency_model or LatencyModel()
+    if not tasks:
+        raise ConfigError("no tasks to optimize")
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate task names: {names}")
+    for t in tasks:
+        cluster.by_name(t.device_name)  # validates membership
+
+    perf = PerfCounters()
+    tracer = get_tracer()
+    with tracer.span(
+        "solve.sharded",
+        {"tasks": len(tasks), "servers": cluster.num_servers, "shards": cfg.shards}
+        if tracer.enabled
+        else None,
+    ) as root:
+        if candidates is None:
+            with tracer.span("solve.candidates"):
+                stats_before = candidate_cache_stats()
+                candsets = [
+                    build_candidates(
+                        t,
+                        threshold_grid=cfg.threshold_grid,
+                        max_cuts=cfg.max_cuts,
+                        cache=cfg.candidate_cache,
+                    )
+                    for t in tasks
+                ]
+                stats_after = candidate_cache_stats()
+                perf.candidate_cache_hits += stats_after.hits - stats_before.hits
+                perf.candidate_cache_misses += stats_after.misses - stats_before.misses
+        else:
+            if len(candidates) != len(tasks):
+                raise ConfigError("candidates/tasks length mismatch")
+            candsets = list(candidates)
+
+        with tracer.span("solve.shard_plan"):
+            # one affinity index serves both the homing scores and the
+            # migration screens (1-shard solves never need it)
+            affinity = (
+                AffinityIndex(tasks, candsets, cluster, lm)
+                if cfg.shards > 1
+                else None
+            )
+            shard_plan = make_shard_plan(
+                tasks, candsets, cluster, cfg.shards, cfg.shard_by, lm, affinity
+            )
+        k = shard_plan.num_shards
+
+        # shard seeds, all derived upfront in shard order so the outcome is
+        # independent of execution order; shard 0 keeps the base seed so a
+        # 1-shard run reproduces the centralized descent exactly
+        shard_seeds: List[SeedLike] = [None] * k
+        for s in range(1, k):
+            shard_seeds[s] = derive_seed(seed, "shard", s)
+        shard_seeds[0] = seed
+
+        # shard fan-out reuses the restart pool: when it is parallel, each
+        # shard solves its restarts serially (never nested pools)
+        workers = min(cfg.restart_workers, k)
+        inner_cfg = replace(
+            cfg,
+            shards=1,
+            restart_workers=1 if workers > 1 else cfg.restart_workers,
+        )
+
+        views = [ShardView(cluster, ids) for ids in shard_plan.server_shards]
+        shard_tasks = [shard_plan.tasks_of(s) for s in range(k)]
+        stride = cfg.restarts + 1
+
+        def _run(s: int) -> Optional[JointResult]:
+            ids = shard_tasks[s]
+            if not ids:
+                return None
+            solver = JointOptimizer(
+                views[s],
+                latency_model=lm,
+                objective=objective,
+                config=inner_cfg,
+                stream_base=1 + s * stride,
+            )
+            with tracer.stream(1 + s * stride, parent=root.span_id):
+                return solver.solve(
+                    [tasks[i] for i in ids],
+                    candidates=[candsets[i] for i in ids],
+                    seed=shard_seeds[s],
+                )
+
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                shard_results = list(pool.map(_run, range(k)))
+        else:
+            shard_results = [_run(s) for s in range(k)]
+
+        # merge per-shard counters in shard order (order-independent of the
+        # pool's completion order); per-shard wall time stays in ShardStats
+        perf.merge(
+            PerfCounters.merged(
+                {s: r.perf for s, r in enumerate(shard_results) if r is not None}
+            )
+        )
+        perf.shard_solves += sum(1 for r in shard_results if r is not None)
+
+        shard_stats = []
+        for s, r in enumerate(shard_results):
+            st = ShardStats(
+                shard=s,
+                servers=shard_plan.server_shards[s],
+                num_tasks=len(shard_tasks[s]),
+            )
+            if r is not None:
+                st.iterations = r.iterations
+                st.converged = r.converged
+                st.objective = r.plan.objective_value
+                st.solve_s = r.perf.solve_s
+            shard_stats.append(st)
+
+        iterations = max((st.iterations for st in shard_stats), default=0)
+        shards_converged = all(st.converged for st in shard_stats)
+        candidate_counts: Dict[str, int] = {}
+        for r in shard_results:
+            if r is not None:
+                candidate_counts.update(r.candidate_counts)
+
+        if k == 1:
+            # degenerate control plane: the view covers every server in
+            # order, homing is the identity, migration has no foreign shard —
+            # return the shard result as-is (bit-identical to centralized)
+            res = shard_results[0]
+            assert res is not None
+            perf.solve_s = time.perf_counter() - t_start
+            return ShardedResult(
+                plan=res.plan,
+                iterations=res.iterations,
+                converged=res.converged,
+                history=res.history,
+                candidate_counts=res.candidate_counts,
+                perf=perf,
+                shard_plan=shard_plan,
+                shard_stats=shard_stats,
+                migration_history=[],
+            )
+
+        with tracer.span("solve.assemble"):
+            (candsets, plan_idx, assignment) = _assemble(
+                tasks, candsets, shard_results, shard_tasks, views
+            )
+            inc = IncrementalAllocator(tasks, candsets, cluster, lm, objective)
+            alloc = inc.solve(plan_idx, assignment, perf)
+
+        task_shard = list(shard_plan.task_shard)
+        obj, base_lat = _global_objective(
+            tasks, candsets, plan_idx, alloc, cluster, lm, objective, cfg, perf
+        )
+        history = [obj]
+        migration_history: List[int] = []
+        # the screen's (template, home-shard) → best-foreign-server table is
+        # static across rounds (bounds ignore the evolving allocation)
+        foreign_val, foreign_srv = affinity.foreign_mins(shard_plan.server_shards)
+        for rnd in range(cfg.migration_rounds):
+            with tracer.span(
+                "solve.migrate", {"round": rnd} if tracer.enabled else None
+            ):
+                accepted, obj, base_lat, plan_idx, alloc = _migration_round(
+                    tasks, candsets, plan_idx, alloc, base_lat,
+                    obj, cluster, lm, objective, cfg, shard_plan, task_shard,
+                    inc, affinity, foreign_val, foreign_srv, perf,
+                )
+            migration_history.append(accepted)
+            perf.migration_rounds += 1
+            perf.migrations += accepted
+            history.append(obj)
+            if accepted == 0:
+                break
+        migration_converged = (
+            cfg.migration_rounds == 0
+            or (bool(migration_history) and migration_history[-1] == 0)
+            or len(migration_history) < cfg.migration_rounds
+        )
+        shard_plan = shard_plan.with_task_shard(task_shard)
+
+        with tracer.span("solve.package"):
+            jp = package_plan(
+                tasks, candsets, plan_idx, alloc, cluster, lm, objective,
+                include_queueing=cfg.include_queueing, counters=perf,
+            )
+        perf.solve_s = time.perf_counter() - t_start
+        return ShardedResult(
+            plan=jp,
+            iterations=iterations,
+            converged=shards_converged and migration_converged,
+            history=history,
+            candidate_counts=candidate_counts,
+            perf=perf,
+            shard_plan=shard_plan,
+            shard_stats=shard_stats,
+            migration_history=migration_history,
+        )
+
+
+def _assemble(
+    tasks: Sequence[TaskSpec],
+    candsets: List[CandidateSet],
+    shard_results: Sequence[Optional[JointResult]],
+    shard_tasks: Sequence[Sequence[int]],
+    views: Sequence[ShardView],
+) -> Tuple[List[CandidateSet], List[int], List[Optional[int]]]:
+    """Stitch shard plans into global (candsets, plan_idx, assignment).
+
+    Shard plans are keyed by task name with shard-local server indices;
+    this maps servers back to global indices and locates each chosen
+    feature vector in the task's candidate set, appending it when the shard
+    solve's threshold refinement produced a plan outside the enumerated set.
+    """
+    out_sets = list(candsets)
+    plan_idx: List[int] = [0] * len(tasks)
+    assignment: List[Optional[int]] = [None] * len(tasks)
+    for s, res in enumerate(shard_results):
+        if res is None:
+            continue
+        for i in shard_tasks[s]:
+            name = tasks[i].name
+            assignment[i] = views[s].to_global(res.plan.assignment[name])
+            feats = res.plan.features[name]
+            flist = out_sets[i].features
+            # shard solves pick features straight out of the candidate set we
+            # handed them, so an identity scan almost always hits; equality
+            # (then append) only runs for refinement-produced plans
+            for j, f in enumerate(flist):
+                if f is feats:
+                    plan_idx[i] = j
+                    break
+            else:
+                try:
+                    plan_idx[i] = flist.index(feats)
+                except ValueError:
+                    cs = out_sets[i]
+                    out_sets[i] = CandidateSet(cs.task, list(cs.features) + [feats])
+                    plan_idx[i] = len(cs.features)
+    return out_sets, plan_idx, assignment
+
+
+def _global_objective(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    plan_idx: Sequence[int],
+    alloc: Allocation,
+    cluster: EdgeCluster,
+    lm: LatencyModel,
+    objective: Objective,
+    cfg: JointSolverConfig,
+    counters: PerfCounters,
+) -> Tuple[float, np.ndarray]:
+    lat = solution_latencies(
+        tasks, candsets, plan_idx, alloc, cluster, lm,
+        include_queueing=cfg.include_queueing, overload="penalty",
+    )
+    counters.latency_evals += len(tasks)
+    return objective.evaluate(lat, tasks), lat
+
+
+def _migration_round(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    plan_idx: List[int],
+    alloc: Allocation,
+    base_lat: np.ndarray,
+    obj: float,
+    cluster: EdgeCluster,
+    lm: LatencyModel,
+    objective: Objective,
+    cfg: JointSolverConfig,
+    shard_plan: ShardPlan,
+    task_shard: List[int],
+    inc: IncrementalAllocator,
+    affinity: AffinityIndex,
+    foreign_val: np.ndarray,
+    foreign_srv: np.ndarray,
+    counters: PerfCounters,
+) -> Tuple[int, float, np.ndarray, List[int], Allocation]:
+    """One round of cross-shard migration moves.
+
+    Two stages, mirroring the local search's screen-then-verify shape:
+
+    1. **Screen.**  Every task gets an optimistic lower bound on its latency
+       at its best *foreign* server (full share, no queueing) straight from
+       the :class:`AffinityIndex`'s precomputed per-(template, home shard)
+       table.  Tasks whose bound does not undercut their current latency by
+       the hysteresis margin are dropped; survivors are ranked by bound gain
+       and the top ``max(8, n // 64)`` proceed.
+    2. **Verify.**  Each surviving (task, foreign server) move is priced
+       exactly — incremental share re-solve of the two affected groups, plan
+       re-picked for the new placement, latencies re-evaluated only for
+       tasks in those groups — and accepted iff the *global* objective
+       improves by more than the hysteresis margin.
+
+    Accepted moves update the incumbent immediately (greedy, in ranked
+    order), re-homing the task to the target server's shard.  Deterministic:
+    ranking ties break by task index, and all floating point follows the
+    same incremental kernels as the centralized local search.
+    """
+    n = len(tasks)
+    hyst = cfg.migration_hysteresis
+
+    shard_of_server = {}
+    for sh, ids in enumerate(shard_plan.server_shards):
+        for s in ids:
+            shard_of_server[s] = sh
+
+    # -- screen --------------------------------------------------------------
+    ranked: List[Tuple[float, int, int]] = []  # (-gain, task, server)
+    for i in range(n):
+        home = task_shard[i]
+        tpl = affinity.template_of[i]
+        best_bound = float(foreign_val[tpl, home])
+        best_s = int(foreign_srv[tpl, home])
+        if best_s < 0:
+            continue
+        margin = hyst * max(abs(base_lat[i]), 1e-12)
+        if best_bound < base_lat[i] - margin:
+            ranked.append((best_bound - base_lat[i], i, best_s))
+    ranked.sort(key=lambda t: (t[0], t[1]))
+    budget = max(8, n // 64)
+    trials = ranked[:budget]
+
+    # -- verify --------------------------------------------------------------
+    accepted = 0
+    assignment = list(alloc.assignment)
+    for _, i, target in trials:
+        current = assignment[i]
+        if current == target:
+            continue
+        trial_assign = list(assignment)
+        trial_assign[i] = target
+        prov = inc.update(alloc, plan_idx, trial_assign, (i,), counters)
+        device = cluster.by_name(tasks[i].device_name)
+        server = cluster.servers[target]
+        link = cluster.link(tasks[i].device_name, server.name)
+        rate = tasks[i].arrival_rate if cfg.include_queueing else None
+        lat_vec = candsets[i].latencies(
+            device, lm, server=server, link=link,
+            compute_share=float(prov.compute_shares[i]),
+            bandwidth_share=float(prov.bandwidth_shares[i]),
+            arrival_rate=rate,
+        )
+        counters.candidate_evals += 1
+        j = int(np.argmin(lat_vec))
+        if not np.isfinite(lat_vec[j]):
+            continue
+        trial_idx = list(plan_idx)
+        trial_idx[i] = j
+        if j == plan_idx[i]:
+            trial_alloc = prov
+        else:
+            trial_alloc = inc.update(prov, trial_idx, trial_assign, (i,), counters)
+        affected = {
+            t for t, a in enumerate(assignment) if a == current or a == target
+        }
+        affected.add(i)
+        trial_lat = base_lat.copy()
+        for t_i in affected:
+            trial_lat[t_i] = solution_latency_task(
+                tasks[t_i],
+                candsets[t_i],
+                trial_idx[t_i],
+                trial_alloc.assignment[t_i],
+                float(trial_alloc.compute_shares[t_i]),
+                float(trial_alloc.bandwidth_shares[t_i]),
+                cluster,
+                lm,
+                include_queueing=cfg.include_queueing,
+                overload="penalty",
+            )
+        counters.latency_evals += len(affected)
+        trial_obj = objective.evaluate(trial_lat, tasks)
+        if trial_obj < obj - hyst * max(abs(obj), 1e-12):
+            obj = trial_obj
+            plan_idx = trial_idx
+            alloc = trial_alloc
+            base_lat = trial_lat
+            assignment[i] = target
+            task_shard[i] = shard_of_server[target]
+            accepted += 1
+    return accepted, obj, base_lat, plan_idx, alloc

@@ -63,9 +63,62 @@ from repro.rng import SeedLike, as_generator, spawn
 from repro.telemetry.trace import Span, Tracer, get_tracer
 
 
+def package_plan(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    plan_idx: Sequence[int],
+    alloc: "Allocation",
+    cluster: EdgeCluster,
+    latency_model: LatencyModel,
+    objective: Objective,
+    include_queueing: bool = True,
+    counters: Optional[PerfCounters] = None,
+) -> JointPlan:
+    """Package a solver state into a :class:`~repro.core.plan.JointPlan`.
+
+    Reports *honest* latencies and objective — ``inf`` for queue-unstable
+    tasks — regardless of the graded overload surrogate the search used
+    internally.  Shared by the centralized solver and the sharded
+    coordinator so both package identically.
+    """
+    lat = solution_latencies(
+        tasks,
+        candsets,
+        plan_idx,
+        alloc,
+        cluster,
+        latency_model,
+        include_queueing=include_queueing,
+    )
+    if counters is not None:
+        counters.latency_evals += len(tasks)
+    obj = objective.evaluate(lat, tasks)
+    return JointPlan(
+        assignment={t.name: alloc.assignment[i] for i, t in enumerate(tasks)},
+        features={t.name: candsets[i].features[plan_idx[i]] for i, t in enumerate(tasks)},
+        compute_shares={t.name: float(alloc.compute_shares[i]) for i, t in enumerate(tasks)},
+        bandwidth_shares={t.name: float(alloc.bandwidth_shares[i]) for i, t in enumerate(tasks)},
+        latencies={t.name: float(lat[i]) for i, t in enumerate(tasks)},
+        objective_value=float(obj),
+    )
+
+
 @dataclass(frozen=True)
 class JointSolverConfig:
-    """Tunables of the BCD joint optimizer."""
+    """Tunables of the BCD joint optimizer.
+
+    ``shards > 1`` switches :meth:`JointOptimizer.solve` to the sharded
+    control plane (:mod:`repro.core.coordinator`): the cluster's servers are
+    partitioned per ``shard_by``, each shard is solved independently, and up
+    to ``migration_rounds`` rounds of cross-shard migration re-home boundary
+    tasks whose relative latency gain beats ``migration_hysteresis``.
+
+    ``restart_workers`` is the width of the solver's *one* thread pool.  With
+    ``shards == 1`` it fans out restarts; with ``shards > 1`` the same pool
+    fans out shard solves and each shard runs its restarts serially — shard
+    fan-out reuses the restart pool, pools are never nested (there is no
+    separate ``shard_workers`` knob).
+    """
 
     max_iterations: int = 50
     tol: float = 1e-4  # relative objective improvement to keep iterating
@@ -73,14 +126,20 @@ class JointSolverConfig:
     local_search: bool = True  # per-task best-response reassignment sweeps
     refine_thresholds: bool = True  # per-exit threshold polish on the winner
     restarts: int = 1  # independent descents from perturbed starts
-    restart_workers: int = 1  # threads running restarts (1 = serial)
+    restart_workers: int = 1  # threads in the solver pool (1 = serial)
     include_queueing: bool = True
     threshold_grid: Optional[Tuple[float, ...]] = None
     max_cuts: Optional[int] = None
     candidate_cache: bool = True  # reuse the memoized candidate pipeline
     strict_convergence: bool = False  # raise instead of warn on budget hit
+    shards: int = 1  # server partitions solved independently (1 = centralized)
+    shard_by: str = "contiguous"  # partition strategy (see core.sharding)
+    migration_rounds: int = 3  # cross-shard re-homing rounds after shard solves
+    migration_hysteresis: float = 1e-3  # relative gain a migration must beat
 
     def __post_init__(self) -> None:
+        from repro.core.sharding import SHARD_STRATEGIES
+
         if self.max_iterations < 1:
             raise ConfigError("max_iterations must be >= 1")
         if self.tol < 0:
@@ -91,6 +150,16 @@ class JointSolverConfig:
             raise ConfigError("restarts must be >= 1")
         if self.restart_workers < 1:
             raise ConfigError("restart_workers must be >= 1")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.shard_by not in SHARD_STRATEGIES:
+            raise ConfigError(
+                f"unknown shard_by {self.shard_by!r}; available {SHARD_STRATEGIES}"
+            )
+        if self.migration_rounds < 0:
+            raise ConfigError("migration_rounds must be >= 0")
+        if self.migration_hysteresis < 0:
+            raise ConfigError("migration_hysteresis must be >= 0")
 
 
 @dataclass
@@ -140,11 +209,17 @@ class JointOptimizer:
         latency_model: Optional[LatencyModel] = None,
         objective: Objective = Objective.AVG_LATENCY,
         config: Optional[JointSolverConfig] = None,
+        stream_base: int = 0,
     ) -> None:
         self.cluster = cluster
         self.latency_model = latency_model or LatencyModel()
         self.objective = objective
         self.config = config or JointSolverConfig()
+        # telemetry stream offset: restart r records on stream
+        # ``stream_base + r + 1``.  The default 0 is the centralized layout;
+        # the sharded coordinator gives shard s the disjoint block
+        # ``s * (restarts + 1)`` so parallel shard solves never collide.
+        self.stream_base = stream_base
 
     # -- public API -------------------------------------------------------------
 
@@ -164,7 +239,24 @@ class JointOptimizer:
         records a span tree: ``solve`` → candidates / context / per-restart
         descend / refine / package (see DESIGN.md §9).  Disabled tracing adds
         no spans and no allocations.
+
+        When ``config.shards > 1`` the solve is delegated to the sharded
+        control plane (:func:`repro.core.coordinator.solve_sharded`), which
+        returns a :class:`~repro.core.coordinator.ShardedResult` (a
+        :class:`JointResult` plus shard/migration diagnostics).
         """
+        if self.config.shards > 1:
+            from repro.core.coordinator import solve_sharded
+
+            return solve_sharded(
+                tasks,
+                self.cluster,
+                latency_model=self.latency_model,
+                objective=self.objective,
+                config=self.config,
+                candidates=candidates,
+                seed=seed,
+            )
         tracer = get_tracer()
         with tracer.span(
             "solve",
@@ -226,10 +318,10 @@ class JointOptimizer:
         restart_counters = [PerfCounters() for _ in range(restarts)]
 
         def _run(r: int) -> Tuple[float, List[int], Allocation, List[float], int, bool]:
-            # telemetry stream r+1 == seed stream r; stream 0 is the
+            # telemetry stream base+r+1 == seed stream r; stream 0 is the
             # orchestrating thread, so restart spans merge deterministically
             # whether restarts run serially or on pool threads
-            with tracer.stream(r + 1, parent=root.span_id):
+            with tracer.stream(self.stream_base + r + 1, parent=root.span_id):
                 with tracer.span("solve.descend", {"restart": r} if tracer.enabled else None):
                     return self._descend(
                         tasks, candsets, streams[r], perturb=(r > 0),
@@ -596,25 +688,16 @@ class JointOptimizer:
         obj: float,
         counters: Optional[PerfCounters] = None,
     ) -> JointPlan:
-        # report honest latencies/objective (inf for unstable tasks) — the
-        # graded surrogate in `obj` was only for steering the search
-        lat = solution_latencies(
+        # honest latencies/objective (inf for unstable tasks) — the graded
+        # surrogate in `obj` was only for steering the search
+        return package_plan(
             tasks,
             candsets,
             plan_idx,
             alloc,
             self.cluster,
             self.latency_model,
+            self.objective,
             include_queueing=self.config.include_queueing,
-        )
-        if counters is not None:
-            counters.latency_evals += len(tasks)
-        obj = self.objective.evaluate(lat, tasks)
-        return JointPlan(
-            assignment={t.name: alloc.assignment[i] for i, t in enumerate(tasks)},
-            features={t.name: candsets[i].features[plan_idx[i]] for i, t in enumerate(tasks)},
-            compute_shares={t.name: float(alloc.compute_shares[i]) for i, t in enumerate(tasks)},
-            bandwidth_shares={t.name: float(alloc.bandwidth_shares[i]) for i, t in enumerate(tasks)},
-            latencies={t.name: float(lat[i]) for i, t in enumerate(tasks)},
-            objective_value=float(obj),
+            counters=counters,
         )

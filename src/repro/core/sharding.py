@@ -1,0 +1,370 @@
+"""Shard plans and shard-local cluster views (the partitioned control plane).
+
+The centralized :class:`~repro.core.joint.JointOptimizer` owns every task and
+server of one :class:`~repro.devices.cluster.EdgeCluster`; that caps a solve
+at hundreds of tasks because its superlinear pieces (the Hungarian matching,
+the local-search sweep) price all tasks against all servers at once.  The
+sharded control plane splits the problem in two:
+
+- a :class:`ShardPlan` partitions the servers into disjoint shards (by
+  contiguous "region" blocks or interleaved for heterogeneity balance) and
+  deterministically *homes* every task to exactly one shard;
+- a :class:`ShardView` presents one shard's servers as a duck-typed
+  sub-cluster — the same ``servers`` / ``by_name`` / ``link`` surface
+  :class:`~repro.devices.cluster.EdgeCluster` exposes — so a shard-local
+  solve runs against the subset **without copying or re-validating** the
+  parent cluster (lookups delegate to the parent's already-validated maps).
+
+Task homing is capacity-bounded best-affinity: each task ranks shards by the
+best candidate latency any of the shard's servers could offer it (optimistic
+full-share estimate, no queueing — a pure affinity screen), and takes the
+best-ranked shard that still has room under a load cap proportional to the
+shard's server count.  The screen is cached by (candidate-feature identity,
+device/link fingerprint), so scenario-built instances — thousands of tasks
+cycling a handful of templates — home in O(templates × servers) sweeps, not
+O(tasks × servers).
+
+Everything here is deterministic: same cluster, tasks, and knobs → the same
+partition and the same homing, independent of dict iteration or thread
+schedule.  The cross-shard coordinator (:mod:`repro.core.coordinator`) owns
+re-homing tasks between shards after the initial solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.candidates import CandidateSet
+from repro.core.plan import TaskSpec
+from repro.devices.cluster import EdgeCluster
+from repro.devices.device import DeviceSpec
+from repro.devices.latency import LatencyModel
+from repro.errors import ConfigError
+from repro.network.link import Link
+
+#: Server-partition strategies understood by :func:`partition_servers`.
+SHARD_STRATEGIES = ("contiguous", "interleave")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of one cluster's servers plus a task→shard homing.
+
+    Attributes
+    ----------
+    server_shards:
+        Per shard, the tuple of *global* server indices it owns.  Shards are
+        disjoint, non-empty, and together cover every server exactly once.
+    task_shard:
+        Per task (same order as the task list it was built for), the index
+        of the shard the task is homed to.
+    shard_by:
+        The partition strategy that produced ``server_shards`` (see
+        :data:`SHARD_STRATEGIES`); informational.
+    """
+
+    server_shards: Tuple[Tuple[int, ...], ...]
+    task_shard: Tuple[int, ...]
+    shard_by: str = "contiguous"
+
+    def __post_init__(self) -> None:
+        if not self.server_shards:
+            raise ConfigError("shard plan needs at least one shard")
+        seen: set = set()
+        for shard in self.server_shards:
+            if not shard:
+                raise ConfigError("empty server shard")
+            for s in shard:
+                if s in seen:
+                    raise ConfigError(f"server {s} appears in two shards")
+                seen.add(s)
+        if seen != set(range(len(seen))) or (seen and max(seen) != len(seen) - 1):
+            raise ConfigError(
+                f"server shards must partition 0..{len(seen) - 1}, got {sorted(seen)}"
+            )
+        k = len(self.server_shards)
+        for t in self.task_shard:
+            if not (0 <= t < k):
+                raise ConfigError(f"task homed to unknown shard {t} (of {k})")
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.server_shards)
+
+    @property
+    def num_servers(self) -> int:
+        return sum(len(s) for s in self.server_shards)
+
+    def tasks_of(self, shard: int) -> List[int]:
+        """Task indices homed to ``shard``, in global task order."""
+        return [i for i, s in enumerate(self.task_shard) if s == shard]
+
+    def shard_of_server(self, server: int) -> int:
+        """The shard owning global server index ``server``."""
+        for k, shard in enumerate(self.server_shards):
+            if server in shard:
+                return k
+        raise ConfigError(f"server {server} not in any shard")
+
+    def with_task_shard(self, task_shard: Sequence[int]) -> "ShardPlan":
+        """A copy with the homing replaced (after migration rounds)."""
+        return ShardPlan(self.server_shards, tuple(task_shard), self.shard_by)
+
+
+class ShardView:
+    """One shard's servers presented as a sub-cluster, without copying.
+
+    Exposes the subset of the :class:`~repro.devices.cluster.EdgeCluster`
+    surface the solver stack reads — ``servers``, ``num_servers``,
+    ``by_name``, ``link``, ``server_index`` — with server *positions*
+    renumbered to the shard-local range ``0..len(shard)-1`` and name/link
+    lookups delegated to the parent's validated maps.  A
+    :class:`~repro.core.joint.JointOptimizer` built over a view therefore
+    solves exactly the sub-problem of the shard's servers plus whatever
+    tasks it is given, at sub-problem cost.
+
+    ``to_global`` / ``to_local`` translate between shard-local server
+    indices (what a shard solve's plan contains) and global indices (what
+    the coordinator's merged plan contains).
+    """
+
+    __slots__ = ("parent", "server_ids", "servers", "_local_of")
+
+    def __init__(self, parent: EdgeCluster, server_ids: Sequence[int]) -> None:
+        m = parent.num_servers
+        ids = tuple(int(s) for s in server_ids)
+        if not ids:
+            raise ConfigError("shard view needs at least one server")
+        for s in ids:
+            if not (0 <= s < m):
+                raise ConfigError(f"server index {s} outside cluster (m={m})")
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate server indices in shard view: {ids}")
+        self.parent = parent
+        self.server_ids = ids
+        self.servers = [parent.servers[s] for s in ids]
+        self._local_of = {g: l for l, g in enumerate(ids)}
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def num_devices(self) -> int:
+        return self.parent.num_devices
+
+    def by_name(self, name: str) -> DeviceSpec:
+        return self.parent.by_name(name)
+
+    def link(self, device_name: str, server_name: str) -> Link:
+        return self.parent.link(device_name, server_name)
+
+    def server_index(self, name: str) -> int:
+        for i, s in enumerate(self.servers):
+            if s.name == name:
+                return i
+        raise ConfigError(f"unknown server {name!r} in shard view")
+
+    def to_global(self, local: Optional[int]) -> Optional[int]:
+        """Shard-local server index → global index (``None`` stays local)."""
+        return None if local is None else self.server_ids[local]
+
+    def to_local(self, global_idx: Optional[int]) -> Optional[int]:
+        """Global server index → shard-local index (must be in this shard)."""
+        if global_idx is None:
+            return None
+        try:
+            return self._local_of[global_idx]
+        except KeyError:
+            raise ConfigError(
+                f"server {global_idx} is not in this shard ({self.server_ids})"
+            ) from None
+
+
+def partition_servers(
+    num_servers: int, shards: int, shard_by: str = "contiguous"
+) -> Tuple[Tuple[int, ...], ...]:
+    """Deterministically split ``0..num_servers-1`` into ``shards`` groups.
+
+    ``"contiguous"`` cuts near-equal index blocks — the region/tier shape
+    (servers provisioned together stay together).  ``"interleave"`` deals
+    servers round-robin, spreading a heterogeneous speed mix evenly across
+    shards.
+    """
+    if shard_by not in SHARD_STRATEGIES:
+        raise ConfigError(
+            f"unknown shard_by {shard_by!r}; available {SHARD_STRATEGIES}"
+        )
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards > num_servers:
+        raise ConfigError(
+            f"cannot split {num_servers} servers into {shards} shards"
+        )
+    if shard_by == "interleave":
+        return tuple(
+            tuple(range(k, num_servers, shards)) for k in range(shards)
+        )
+    base, extra = divmod(num_servers, shards)
+    out: List[Tuple[int, ...]] = []
+    start = 0
+    for k in range(shards):
+        size = base + (1 if k < extra else 0)
+        out.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(out)
+
+
+class AffinityIndex:
+    """Template-deduplicated optimistic latency bounds ``B[template, server]``.
+
+    The homing/migration screens need, for many (task, server) pairs, the
+    best candidate latency a task could see on a server under a full-share,
+    queueing-free estimate — a pure function of the task's candidate feature
+    arrays, its device's speed fingerprint, and its per-server link row.
+    Scenario-built instances repeat those per template (candidate sets from
+    the memoized pipeline share one ``features`` list object; uniform star
+    topologies share one ``Link``), so tasks are first collapsed to
+    templates and the O(templates × servers) sweep matrix is computed once;
+    every later screen is an array lookup.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskSpec],
+        candsets: Sequence[CandidateSet],
+        cluster: EdgeCluster,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        if len(candsets) != len(tasks):
+            raise ConfigError("tasks/candsets length mismatch")
+        lm = latency_model or LatencyModel()
+        m = cluster.num_servers
+        keys: Dict[Tuple, int] = {}
+        self.template_of: List[int] = []
+        reps: List[int] = []
+        for i, t in enumerate(tasks):
+            device = cluster.by_name(t.device_name)
+            key = (
+                id(candsets[i].features),
+                device.peak_flops,
+                tuple(sorted(device.efficiency.items())),
+                device.overhead_s,
+                tuple(
+                    id(cluster.link(t.device_name, srv.name))
+                    for srv in cluster.servers
+                ),
+            )
+            tpl = keys.get(key)
+            if tpl is None:
+                tpl = len(reps)
+                keys[key] = tpl
+                reps.append(i)
+            self.template_of.append(tpl)
+        self.bounds = np.empty((len(reps), m))
+        for tpl, i in enumerate(reps):
+            device = cluster.by_name(tasks[i].device_name)
+            for s in range(m):
+                server = cluster.servers[s]
+                link = cluster.link(tasks[i].device_name, server.name)
+                self.bounds[tpl, s] = float(
+                    np.min(candsets[i].latencies(device, lm, server=server, link=link))
+                )
+
+    def shard_mins(
+        self, server_shards: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per (template, shard): best bound over the shard's *own* servers
+        and the (global) server achieving it."""
+        cols = [np.asarray(tuple(shard)) for shard in server_shards]
+        val = np.stack([self.bounds[:, c].min(axis=1) for c in cols], axis=1)
+        srv = np.stack(
+            [c[self.bounds[:, c].argmin(axis=1)] for c in cols], axis=1
+        )
+        return val, srv
+
+    def foreign_mins(
+        self, server_shards: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per (template, home shard): best bound over servers *outside* the
+        shard and the server achieving it (migration's screen)."""
+        m = self.bounds.shape[1]
+        vals = []
+        srvs = []
+        for shard in server_shards:
+            mask = np.ones(m, dtype=bool)
+            mask[list(shard)] = False
+            foreign = np.flatnonzero(mask)
+            if foreign.size == 0:
+                vals.append(np.full(self.bounds.shape[0], np.inf))
+                srvs.append(np.full(self.bounds.shape[0], -1))
+                continue
+            sub = self.bounds[:, foreign]
+            vals.append(sub.min(axis=1))
+            srvs.append(foreign[sub.argmin(axis=1)])
+        return np.stack(vals, axis=1), np.stack(srvs, axis=1)
+
+
+def home_tasks(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    cluster: EdgeCluster,
+    server_shards: Sequence[Sequence[int]],
+    latency_model: Optional[LatencyModel] = None,
+    affinity: Optional[AffinityIndex] = None,
+) -> Tuple[int, ...]:
+    """Capacity-bounded best-affinity homing of every task to one shard.
+
+    Each task scores every shard by the best candidate latency any of the
+    shard's servers offers under an optimistic full-share, queueing-free
+    estimate (see :class:`AffinityIndex`), then takes its best-scoring shard
+    whose load is still under ``ceil(n_tasks × shard_servers / total)``; if
+    every preferred shard is full, the least-loaded shard (relative to its
+    cap) takes the task.  Deterministic: tasks are visited in index order
+    and ties break toward the lower shard index.
+    """
+    if len(candsets) != len(tasks):
+        raise ConfigError("tasks/candsets length mismatch")
+    n = len(tasks)
+    m = cluster.num_servers
+    k = len(server_shards)
+    caps = [max(1, -(-n * len(shard) // m)) for shard in server_shards]
+    loads = [0] * k
+    index = affinity or AffinityIndex(tasks, candsets, cluster, latency_model)
+    shard_scores, _ = index.shard_mins(server_shards)
+
+    out: List[int] = []
+    for i in range(n):
+        scores = shard_scores[index.template_of[i]]
+        order = sorted(range(k), key=lambda j: (scores[j], j))
+        chosen = next((j for j in order if loads[j] < caps[j]), None)
+        if chosen is None:  # all caps hit (rounding): least relatively loaded
+            chosen = min(range(k), key=lambda j: (loads[j] / caps[j], j))
+        loads[chosen] += 1
+        out.append(chosen)
+    return tuple(out)
+
+
+def make_shard_plan(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    cluster: EdgeCluster,
+    shards: int,
+    shard_by: str = "contiguous",
+    latency_model: Optional[LatencyModel] = None,
+    affinity: Optional[AffinityIndex] = None,
+) -> ShardPlan:
+    """Partition the cluster's servers and home every task to a shard."""
+    server_shards = partition_servers(cluster.num_servers, shards, shard_by)
+    if shards == 1:
+        # single shard: homing is trivial and the affinity sweep is skipped,
+        # keeping the 1-shard path bit-identical (and cheap) vs centralized
+        task_shard: Tuple[int, ...] = (0,) * len(tasks)
+    else:
+        task_shard = home_tasks(
+            tasks, candsets, cluster, server_shards, latency_model, affinity
+        )
+    return ShardPlan(server_shards, task_shard, shard_by)

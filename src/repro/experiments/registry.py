@@ -28,6 +28,7 @@ from repro.experiments import (
     e14_queueing_validation,
     e15_admission,
     e16_resilience,
+    e17_control_plane,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -48,6 +49,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E14": e14_queueing_validation.run,
     "E15": e15_admission.run,
     "E16": e16_resilience.run,
+    "E17": e17_control_plane.run,
     # ablations of design choices (DESIGN.md §6-§7)
     "A1": a01_candidate_budget.run,
     "A2": a02_quantization.run,

@@ -43,6 +43,13 @@ class PerfCounters:
         populated when the solver builds its own candidate sets).
     restarts:
         Independent descents run (serially or in parallel).
+    shard_solves:
+        Shard-local solves run by the sharded control plane (0 for a
+        centralized solve).
+    migration_rounds:
+        Cross-shard migration rounds executed by the coordinator.
+    migrations:
+        Accepted cross-shard task migrations.
     """
 
     solve_s: float = 0.0
@@ -53,6 +60,9 @@ class PerfCounters:
     candidate_cache_hits: int = 0
     candidate_cache_misses: int = 0
     restarts: int = 0
+    shard_solves: int = 0
+    migration_rounds: int = 0
+    migrations: int = 0
 
     def merge(self, other: "PerfCounters") -> "PerfCounters":
         """Accumulate ``other`` into ``self`` (returns self for chaining)."""

@@ -110,6 +110,11 @@ class SimulationConfig:
     hist_bin_s: float = 5e-4
     #: latencies at/above this land in the histogram overflow bucket
     hist_max_s: float = 30.0
+    #: internal (set by :func:`run_cells`): a run that generates zero
+    #: requests returns an empty report instead of raising — Poisson
+    #: thinning across many cells can legitimately leave one cell silent
+    #: within the horizon; the fan-out re-checks the *merged* total
+    allow_empty: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -474,7 +479,10 @@ def _fan_out(jobs, workers: int, telemetry: bool) -> List[SimulationReport]:
 def _cell_config(cfg: SimulationConfig, cell: int) -> SimulationConfig:
     """Per-cell config: cell 0 keeps ``cfg.seed`` verbatim (one cell ≡ one run)."""
     seed = cfg.seed if cell == 0 else derive_seed(cfg.seed, "cell", cell)
-    return replace(cfg, seed=seed, streaming=True, replications=1, sim_workers=1)
+    return replace(
+        cfg, seed=seed, streaming=True, replications=1, sim_workers=1,
+        allow_empty=True,
+    )
 
 
 def run_cells(
@@ -507,4 +515,7 @@ def run_cells(
         (scaled, plan, cluster, _cell_config(config, c), latency_model, ())
         for c in range(cells)
     ]
-    return merge_reports(_fan_out(jobs, min(config.sim_workers, cells), False))
+    merged = merge_reports(_fan_out(jobs, min(config.sim_workers, cells), False))
+    if merged.counters.requests == 0:
+        raise SimulationError("no requests generated; horizon or rates too small")
+    return merged

@@ -1,0 +1,191 @@
+"""The hierarchical coordinator: shard solves + cross-shard migration."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import build_candidates
+from repro.core.coordinator import ShardedResult, solve_sharded
+from repro.core.joint import JointOptimizer, JointSolverConfig
+from repro.errors import ConfigError
+from repro.workloads.scenarios import build_scenario
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    cluster, tasks = build_scenario("smart_city", num_tasks=24, num_servers=4, seed=3)
+    return cluster, tasks, [build_candidates(t) for t in tasks]
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(shards=0),
+            dict(shards=-1),
+            dict(shard_by="hash"),
+            dict(migration_rounds=-1),
+            dict(migration_hysteresis=-0.5),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            JointSolverConfig(**kwargs)
+
+    def test_more_shards_than_servers_rejected_at_solve(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        cfg = JointSolverConfig(shards=cluster.num_servers + 1)
+        with pytest.raises(ConfigError):
+            JointOptimizer(cluster, config=cfg).solve(tasks, candidates=cands)
+
+
+class TestSingleShardIdentity:
+    def test_bit_identical_to_centralized(self, medium_instance):
+        # JointOptimizer keeps shards=1 on the centralized path; calling the
+        # coordinator directly exercises its degenerate early return
+        cluster, tasks, cands = medium_instance
+        cen = JointOptimizer(cluster).solve(tasks, candidates=cands, seed=7)
+        one = solve_sharded(
+            tasks, cluster, config=JointSolverConfig(shards=1),
+            candidates=cands, seed=7,
+        )
+        assert isinstance(one, ShardedResult)
+        assert one.plan.assignment == cen.plan.assignment
+        assert one.plan.features == cen.plan.features
+        assert one.plan.latencies == cen.plan.latencies
+        assert one.plan.compute_shares == cen.plan.compute_shares
+        assert one.plan.bandwidth_shares == cen.plan.bandwidth_shares
+        assert one.plan.objective_value == cen.plan.objective_value
+        assert one.history == cen.history
+        assert one.iterations == cen.iterations
+        assert one.migration_history == []
+
+
+class TestShardedSolve:
+    @pytest.fixture(scope="class")
+    def result(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        cfg = JointSolverConfig(shards=2, migration_rounds=3)
+        return solve_sharded(
+            tasks, cluster, config=cfg, candidates=cands, seed=7
+        )
+
+    def test_complete_plan(self, medium_instance, result):
+        _, tasks, _ = medium_instance
+        for t in tasks:
+            assert t.name in result.plan.latencies
+            assert np.isfinite(result.plan.latencies[t.name])
+
+    def test_shard_stats_cover_all_tasks(self, medium_instance, result):
+        _, tasks, _ = medium_instance
+        assert len(result.shard_stats) == 2
+        assert sum(st.num_tasks for st in result.shard_stats) == len(tasks)
+
+    def test_counters(self, result):
+        assert result.perf.shard_solves == 2
+        assert result.perf.migration_rounds == len(result.migration_history)
+        assert result.perf.migrations == sum(result.migration_history)
+
+    def test_final_homing_matches_assignment(self, medium_instance, result):
+        # after migration, every offloaded task's homing shard owns the
+        # server it is assigned to
+        cluster, tasks, _ = medium_instance
+        plan = result.shard_plan
+        for i, t in enumerate(tasks):
+            s = result.plan.assignment[t.name]  # global server index or None
+            if s is not None:
+                assert plan.shard_of_server(s) == plan.task_shard[i]
+
+    def test_migration_improves_or_holds(self, result):
+        # history[0] is the stitched objective before migration
+        assert result.history[-1] <= result.history[0] + 1e-12
+
+    def test_deterministic(self, medium_instance, result):
+        cluster, tasks, cands = medium_instance
+        again = solve_sharded(
+            tasks, cluster,
+            config=JointSolverConfig(shards=2, migration_rounds=3),
+            candidates=cands, seed=7,
+        )
+        assert again.plan.assignment == result.plan.assignment
+        assert again.plan.latencies == result.plan.latencies
+        assert again.migration_history == result.migration_history
+        assert again.history == result.history
+
+    def test_serial_parallel_fanout_identical(self, medium_instance, result):
+        cluster, tasks, cands = medium_instance
+        par = solve_sharded(
+            tasks, cluster,
+            config=JointSolverConfig(
+                shards=2, migration_rounds=3, restart_workers=4
+            ),
+            candidates=cands, seed=7,
+        )
+        assert par.plan.assignment == result.plan.assignment
+        assert par.plan.latencies == result.plan.latencies
+        assert par.plan.objective_value == result.plan.objective_value
+        assert par.migration_history == result.migration_history
+
+    def test_seed_changes_solution_space_not_validity(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        cfg = JointSolverConfig(shards=2, migration_rounds=1)
+        other = solve_sharded(tasks, cluster, config=cfg, candidates=cands, seed=11)
+        for t in tasks:
+            assert np.isfinite(other.plan.latencies[t.name])
+
+
+class TestMigration:
+    def test_zero_rounds_skips_migration(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        res = solve_sharded(
+            tasks, cluster,
+            config=JointSolverConfig(shards=2, migration_rounds=0),
+            candidates=cands, seed=7,
+        )
+        assert res.migration_history == []
+        assert res.perf.migrations == 0
+        assert res.shard_plan.task_shard == tuple(res.shard_plan.task_shard)
+
+    def test_migration_strictly_helps_here(self, medium_instance):
+        # on this instance the partition leaves cross-shard gains on the
+        # table; the coordinator should find at least one
+        cluster, tasks, cands = medium_instance
+        without = solve_sharded(
+            tasks, cluster,
+            config=JointSolverConfig(shards=2, migration_rounds=0),
+            candidates=cands, seed=7,
+        )
+        with_mig = solve_sharded(
+            tasks, cluster,
+            config=JointSolverConfig(shards=2, migration_rounds=3),
+            candidates=cands, seed=7,
+        )
+        assert with_mig.perf.migrations > 0
+        assert (
+            with_mig.plan.objective_value <= without.plan.objective_value + 1e-12
+        )
+
+
+class TestValidation:
+    def test_no_tasks(self, medium_instance):
+        cluster, _, _ = medium_instance
+        with pytest.raises(ConfigError):
+            solve_sharded([], cluster)
+
+    def test_duplicate_names(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        dup = [tasks[0], tasks[0]]
+        with pytest.raises(ConfigError):
+            solve_sharded(dup, cluster, candidates=[cands[0], cands[0]])
+
+    def test_unknown_device(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        bad = [dataclasses.replace(tasks[0], device_name="ghost")]
+        with pytest.raises(ConfigError):
+            solve_sharded(bad, cluster, candidates=[cands[0]])
+
+    def test_candidates_length_mismatch(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        with pytest.raises(ConfigError):
+            solve_sharded(tasks, cluster, candidates=cands[:-1])

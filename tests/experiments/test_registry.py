@@ -84,6 +84,18 @@ class TestE9:
         assert r.rows[0][3] < 30.0  # solve time
 
 
+class TestE17:
+    def test_three_arms_on_small_instance(self):
+        r = run_experiment("E17", sizes=((48, 6, 3),))
+        arms = {row[3] for row in r.rows}
+        assert arms == {"centralized", "sharded", "decentralized"}
+        # finite objectives in every arm, sharded within the regression band
+        for row in r.rows:
+            assert math.isfinite(row[5]) and row[5] > 0
+        assert r.extras["regression_pct"]["48x6"] <= 5.0
+        assert "control plane" in r.title
+
+
 class TestE16:
     def test_ladder_recovers_what_static_loses(self):
         r = run_experiment("E16", num_tasks=4, horizon_s=8.0)

@@ -196,6 +196,22 @@ class TestShardedCells:
             single.counters.requests, rel=0.25
         )
 
+    def test_empty_cell_is_benign(self, small_cluster, small_tasks, solved):
+        """Thinning across many cells may leave a cell with zero arrivals in
+        the horizon — the merge must absorb it, not raise."""
+        thin = [replace(t, arrival_rate=0.4) for t in small_tasks]
+        cfg = _cfg(streaming=True, horizon_s=4.0, warmup_s=0.0)
+        # enough cells that some draw no arrivals at rate*horizon/cells = 0.2
+        merged = run_cells(thin, solved, small_cluster, cfg, 8)
+        assert merged.counters.requests > 0
+        assert merged.counters.conserved()
+
+    def test_all_cells_empty_raises(self, small_cluster, small_tasks, solved):
+        dead = [replace(t, arrival_rate=1e-9) for t in small_tasks]
+        cfg = _cfg(streaming=True, horizon_s=1.0, warmup_s=0.0)
+        with pytest.raises(SimulationError, match="no requests"):
+            run_cells(dead, solved, small_cluster, cfg, 4)
+
     def test_invalid_cells(self, small_cluster, small_tasks, solved):
         with pytest.raises(ConfigError, match="cells"):
             run_cells(

@@ -43,6 +43,20 @@ class TestCommands:
         plan = load_joint_plan(path)
         assert "t0" in plan.latencies
 
+    def test_solve_sharded(self, capsys):
+        assert main(
+            ["solve", "--tasks", "12", "--servers", "4", "--shards", "2",
+             "--shard-by", "interleave", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shard solves (interleave)" in out
+        assert "migrations/round" in out
+        assert "objective" in out
+
+    def test_solve_rejects_bad_shards(self, capsys):
+        assert main(["solve", "--tasks", "4", "--shards", "0"]) == 1
+        assert "shards" in capsys.readouterr().err
+
     def test_simulate(self, capsys):
         assert main(
             ["simulate", "--tasks", "2", "--horizon", "5", "--scenario", "mobile_ar"]
