@@ -57,6 +57,26 @@ instance against a checked-in baseline:
   baseline's recorded ratio (≈5.7×) so run-to-run wall-clock noise on the
   two arms' minima cannot flap the gate.
 
+``--suite obs`` gates the streaming SLO observability plane:
+
+- windowed SLO metrics must be **bit-identical** across the event loop, the
+  one-shot fast path, and the chunked streaming sweep on the fixed-seed sim
+  workload (``WindowedMetrics.fingerprint()`` and ``SLOReport.fingerprint()``
+  equality — the integer-state contract);
+- a 1M-request *monitored* streaming run (fresh subprocess, windowed metrics
+  on) must stay within ``--max-monitor-overhead`` (default 1.15×) of the
+  un-monitored streaming run's wall time and under the same
+  ``--rss-ceiling-mb`` memory ceiling — monitoring may not break the
+  bounded-memory capacity unlock;
+- its windowed and SLO fingerprints must be identical across probe rounds
+  and must match the checked-in baseline exactly (fully seeded);
+- the OpenMetrics exposition of the run's ``sim.*`` counters must be
+  well-formed (``# EOF`` terminator, ``_total`` counter families).
+
+``--artifacts-dir DIR`` additionally writes CI-uploadable artifacts for any
+suite: the raw measurement JSON, a solver phase-breakdown table, and (obs
+suite) a replayable ``metrics.jsonl`` stream + ``openmetrics.txt`` snapshot.
+
 Every stream run (check or update) appends a trajectory entry to
 ``benchmarks/baselines/BENCH_stream.json`` — requests/sec, peak RSS,
 speedups — so future PRs inherit a perf history.  Shard runs do the same to
@@ -99,6 +119,7 @@ DEFAULT_BASELINE = _BASELINE_DIR / "e09_solver_baseline.json"
 DEFAULT_SIM_BASELINE = _BASELINE_DIR / "sim_baseline.json"
 DEFAULT_STREAM_BASELINE = _BASELINE_DIR / "stream_baseline.json"
 DEFAULT_SHARD_BASELINE = _BASELINE_DIR / "shard_baseline.json"
+DEFAULT_OBS_BASELINE = _BASELINE_DIR / "obs_baseline.json"
 STREAM_TRAJECTORY = _BASELINE_DIR / "BENCH_stream.json"
 SOLVER_TRAJECTORY = _BASELINE_DIR / "BENCH_solver.json"
 
@@ -310,6 +331,7 @@ def run_sim_suite(args) -> int:
     if args.check_overhead:
         return check_sim_overhead(args.baseline, args.overhead)
     current = measure_sim()
+    write_artifacts(args, "sim", current)
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         if not current["paths_equal"]:
@@ -560,6 +582,7 @@ def run_stream_suite(args) -> int:
         print("--check-overhead is not defined for the stream suite", file=sys.stderr)
         return 1
     current = measure_stream()
+    write_artifacts(args, "stream", current)
     append_stream_trajectory(current)
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
@@ -806,6 +829,7 @@ def run_shard_suite(args) -> int:
         print("--check-overhead is not defined for the shard suite", file=sys.stderr)
         return 1
     current = measure_shard()
+    write_artifacts(args, "shard", current)
     append_solver_trajectory(current)
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
@@ -833,6 +857,323 @@ def run_shard_suite(args) -> int:
         args.min_shard_speedup,
         args.max_regression_pct,
     )
+
+
+def obs_probe(mode: str) -> dict:
+    """Run the 1M-request streaming sim, optionally monitored, in isolation.
+
+    Executed in a fresh interpreter (``--obs-probe plain|monitored``) so the
+    two arms' peak RSS and wall time are each attributable to exactly one
+    configuration.  The monitored arm carries 1 s tumbling windows and
+    reports the windowed + SLO fingerprints the gate pins.
+    """
+    import resource
+    from dataclasses import replace
+
+    from repro.sim.runner import simulate_plan
+    from repro.telemetry import WindowConfig, evaluate_slos
+
+    tasks, plan, cluster, cfg = _stream_workload()
+    scfg = replace(cfg, streaming=True)
+    if mode == "monitored":
+        # the ~17,000 s horizon needs a coarser layout than the interactive
+        # default to stay inside the per-task histogram-cell guard: 5 s
+        # windows x 20 ms bins ≈ 0.34M cells/task (~45 MiB over 16 tasks)
+        scfg = replace(
+            scfg, windows=WindowConfig(window_s=5.0, bin_s=2e-2, max_s=2.0)
+        )
+    t0 = perf_counter()
+    report = simulate_plan(tasks, plan, cluster, scfg)
+    wall = perf_counter() - t0
+    out = {
+        "mode": mode,
+        "wall_s": wall,
+        "requests": report.counters.requests,
+        "req_per_s": report.counters.requests / wall,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if mode == "monitored":
+        out["windowed_fingerprint"] = report.windowed.fingerprint()
+        out["slo_fingerprint"] = evaluate_slos(report.windowed).fingerprint()
+    return out
+
+
+def _obs_identity() -> dict:
+    """Event-loop ≡ fast-path ≡ streaming windowed/SLO identity (fixed seed)."""
+    from dataclasses import replace
+
+    from repro.sim.runner import simulate_plan
+    from repro.telemetry import WindowConfig, evaluate_slos
+
+    tasks, plan, cluster, cfg = _sim_workload()
+    wcfg = WindowConfig(window_s=0.5)
+    fast = simulate_plan(tasks, plan, cluster, replace(cfg, windows=wcfg))
+    event = simulate_plan(
+        tasks, plan, cluster, replace(cfg, fast_path=False, windows=wcfg)
+    )
+    stream = simulate_plan(
+        tasks, plan, cluster,
+        replace(cfg, streaming=True, chunk_size=4096, windows=wcfg),
+    )
+    fp = {k: r.windowed.fingerprint() for k, r in
+          (("fast", fast), ("event", event), ("stream", stream))}
+    slo = {k: evaluate_slos(r.windowed).fingerprint() for k, r in
+           (("fast", fast), ("event", event), ("stream", stream))}
+    return {
+        "event_equals_fast": fp["event"] == fp["fast"] and slo["event"] == slo["fast"],
+        "stream_equals_fast": fp["stream"] == fp["fast"] and slo["stream"] == slo["fast"],
+        "windowed_fingerprint": fp["fast"],
+        "slo_fingerprint": slo["fast"],
+    }
+
+
+def _openmetrics_wellformed() -> bool:
+    """Sanity of the OpenMetrics exposition over a real sim's counters."""
+    from repro.sim.runner import simulate_plan
+    from repro.telemetry import openmetrics_text
+
+    tasks, plan, cluster, cfg = _sim_workload()
+    report = simulate_plan(tasks, plan, cluster, cfg)
+    registry = MetricsRegistry()
+    report.counters.publish(registry)
+    text = openmetrics_text(registry)
+    return (
+        text.rstrip().endswith("# EOF")
+        and "repro_sim_requests_total" in text
+        and "# TYPE repro_sim_requests counter" in text
+    )
+
+
+def measure_obs(rounds: int = 4) -> dict:
+    """Observability measurement in the gate's JSON-safe shape.
+
+    The plain and monitored 1M-request arms each run ``rounds`` times in
+    fresh subprocesses, **interleaved** (plain, monitored, plain, ...) and
+    the overhead ratio is the best of the per-round pairwise ratios
+    ``monitored_i / plain_i``: adjacent runs share machine state
+    (CPU-frequency scaling, page cache, background load), so pairing
+    cancels the slow drift that would bias comparing minima drawn from
+    different moments.  Throughput is best-of-``rounds``; max RSS is taken
+    over the monitored runs.  The cross-engine identity and OpenMetrics
+    checks run in-process on the small fixed workload.
+    """
+    import json as _json
+    import subprocess
+
+    def _probe_once(mode: str) -> dict:
+        out = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--obs-probe", mode],
+            capture_output=True, text=True, check=True,
+        )
+        return _json.loads(out.stdout)
+
+    plain, monitored = [], []
+    for _ in range(rounds):
+        plain.append(_probe_once("plain"))
+        monitored.append(_probe_once("monitored"))
+    best_pair = min(
+        zip(plain, monitored),
+        key=lambda pm: pm[1]["wall_s"] / max(pm[0]["wall_s"], 1e-9),
+    )
+    plain_wall = best_pair[0]["wall_s"]
+    mon_best = min(monitored, key=lambda p: p["wall_s"])
+    fingerprints = {(p["windowed_fingerprint"], p["slo_fingerprint"]) for p in monitored}
+    identity = _obs_identity()
+    return {
+        "suite": "obs",
+        "workload": (
+            f"smart_city x16 tasks, {STREAM_TARGET_REQUESTS} requests, "
+            "5s windows x 20ms bins, seed 0"
+        ),
+        "requests": mon_best["requests"],
+        "plain_wall_s": plain_wall,
+        "monitored_wall_s": best_pair[1]["wall_s"],
+        "monitor_ratio": best_pair[1]["wall_s"] / max(plain_wall, 1e-9),
+        "monitored_req_per_s": mon_best["req_per_s"],
+        "monitored_peak_rss_kb": max(p["peak_rss_kb"] for p in monitored),
+        "probe_fingerprints_stable": len(fingerprints) == 1,
+        "windowed_fingerprint_1m": mon_best["windowed_fingerprint"],
+        "slo_fingerprint_1m": mon_best["slo_fingerprint"],
+        "event_equals_fast": identity["event_equals_fast"],
+        "stream_equals_fast": identity["stream_equals_fast"],
+        "windowed_fingerprint": identity["windowed_fingerprint"],
+        "slo_fingerprint": identity["slo_fingerprint"],
+        "openmetrics_ok": _openmetrics_wellformed(),
+    }
+
+
+def check_obs(
+    baseline: dict,
+    current: dict,
+    factor: float,
+    rss_ceiling_mb: float,
+    max_monitor_overhead: float,
+) -> int:
+    """Gate the SLO plane: identity, overhead, memory, pinned fingerprints."""
+    failures = []
+
+    for key, label in (
+        ("event_equals_fast", "event-loop == fast-path windowed/SLO fingerprints"),
+        ("stream_equals_fast", "streaming == fast-path windowed/SLO fingerprints"),
+        ("probe_fingerprints_stable", "1M monitored fingerprints stable across rounds"),
+        ("openmetrics_ok", "OpenMetrics exposition well-formed (# EOF, _total)"),
+    ):
+        status = "OK" if current[key] else "FAIL"
+        print(f"{status} {label}")
+        if not current[key]:
+            failures.append(key)
+
+    for key in ("windowed_fingerprint", "slo_fingerprint",
+                "windowed_fingerprint_1m", "slo_fingerprint_1m"):
+        base = baseline.get(key)
+        if base is None:
+            continue
+        ok = current[key] == base
+        status = "OK" if ok else "FAIL"
+        print(f"{status} {key} {current[key][:16]}… vs baseline {base[:16]}… (exact)")
+        if not ok:
+            failures.append(key)
+
+    ratio = current["monitor_ratio"]
+    status = "OK" if ratio <= max_monitor_overhead else "FAIL"
+    print(
+        f"{status} monitored 1M wall {current['monitored_wall_s']:.2f}s vs "
+        f"plain {current['plain_wall_s']:.2f}s "
+        f"({ratio:.3f}x, budget {max_monitor_overhead:.2f}x)"
+    )
+    if ratio > max_monitor_overhead:
+        failures.append("monitor_ratio")
+
+    ceiling_kb = rss_ceiling_mb * 1024
+    status = "OK" if current["monitored_peak_rss_kb"] <= ceiling_kb else "FAIL"
+    print(
+        f"{status} monitored peak RSS {current['monitored_peak_rss_kb'] / 1024:.0f} MiB "
+        f"(ceiling {rss_ceiling_mb:.0f} MiB)"
+    )
+    if current["monitored_peak_rss_kb"] > ceiling_kb:
+        failures.append("peak_rss")
+
+    floor = baseline["monitored_req_per_s"] / factor
+    status = "OK" if current["monitored_req_per_s"] >= floor else "FAIL"
+    print(
+        f"{status} monitored throughput {current['monitored_req_per_s'] / 1e3:.0f}k "
+        f"req/s vs baseline {baseline['monitored_req_per_s'] / 1e3:.0f}k "
+        f"(floor {floor / 1e3:.0f}k, budget {factor:.2f}x)"
+    )
+    if current["monitored_req_per_s"] < floor:
+        failures.append("monitored_req_per_s")
+
+    if failures:
+        print(f"obs perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("obs perf gate passed")
+    return 0
+
+
+def run_obs_suite(args) -> int:
+    """``--suite obs`` flow: baseline update or full gate."""
+    if args.check_overhead:
+        print("--check-overhead is not defined for the obs suite", file=sys.stderr)
+        return 1
+    current = measure_obs()
+    write_artifacts(args, "obs", current)
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        if not (
+            current["event_equals_fast"]
+            and current["stream_equals_fast"]
+            and current["probe_fingerprints_stable"]
+            and current["openmetrics_ok"]
+        ):
+            print(
+                "refusing to write baseline: windowed identity, fingerprint "
+                "stability, or OpenMetrics sanity broken",
+                file=sys.stderr,
+            )
+            return 1
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        print(json.dumps(current, indent=2))
+        return 0
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --suite obs --update first",
+            file=sys.stderr,
+        )
+        return 1
+    return check_obs(
+        json.loads(args.baseline.read_text()),
+        current,
+        args.factor,
+        args.rss_ceiling_mb,
+        args.max_monitor_overhead,
+    )
+
+
+def write_artifacts(args, suite: str, current: dict) -> None:
+    """Write CI-uploadable artifacts when ``--artifacts-dir`` is given.
+
+    Every suite drops its raw measurement JSON plus a solver phase-breakdown
+    table (from a small traced solve — the same table ``repro trace``
+    prints); the obs suite additionally writes a replayable ``metrics.jsonl``
+    stream and an ``openmetrics.txt`` snapshot of a monitored run.
+    """
+    if not getattr(args, "artifacts_dir", None):
+        return
+    outdir = Path(args.artifacts_dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / f"{suite}_measure.json").write_text(
+        json.dumps(current, indent=2, default=str) + "\n"
+    )
+
+    from repro.analysis.tables import format_table
+    from repro.core.joint import JointOptimizer
+    from repro.telemetry.trace import get_tracer, phase_breakdown
+    from repro.workloads.scenarios import build_scenario
+
+    tracer = get_tracer().enable()
+    try:
+        cluster, tasks = build_scenario("smart_city", num_tasks=16, seed=0)
+        JointOptimizer(cluster).solve(tasks, seed=0)
+    finally:
+        tracer.disable()
+    spans = tracer.drain()
+    rows = phase_breakdown(spans, root="solve")
+    (outdir / f"{suite}_phase_breakdown.txt").write_text(
+        format_table(
+            ["phase", "count", "total_ms", "fraction"],
+            [(name, count, total * 1e3, frac) for name, count, total, frac in rows],
+            title="solve phase breakdown",
+            float_fmt="{:.3f}",
+        )
+        + "\n"
+    )
+
+    if suite == "obs":
+        from dataclasses import replace
+
+        from repro.sim.runner import simulate_plan
+        from repro.telemetry import (
+            MetricsStreamWriter,
+            WindowConfig,
+            evaluate_slos,
+            export_openmetrics,
+        )
+
+        tasks, plan, cluster, cfg = _sim_workload()
+        report = simulate_plan(
+            tasks, plan, cluster,
+            replace(cfg, streaming=True, windows=WindowConfig(window_s=0.5)),
+        )
+        registry = MetricsRegistry()
+        report.counters.publish(registry)
+        slo = evaluate_slos(report.windowed)
+        with MetricsStreamWriter(str(outdir / "metrics.jsonl")) as out:
+            out.windowed_snapshot(cfg.horizon_s, report.windowed.snapshot())
+            out.slo_report(cfg.horizon_s, slo.as_dict())
+            out.registry_snapshot(cfg.horizon_s, registry)
+        export_openmetrics(registry, str(outdir / "openmetrics.txt"))
+    print(f"artifacts written to {outdir}")
 
 
 def check_overhead(baseline_path: Path, overhead: float) -> int:
@@ -869,12 +1210,12 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--suite",
-        choices=("solver", "sim", "stream", "shard"),
+        choices=("solver", "sim", "stream", "shard", "obs"),
         default="solver",
         help=(
             "what to gate: the E9 joint solver (default), the simulator hot "
-            "path, the million-request streaming path, or the sharded "
-            "control plane"
+            "path, the million-request streaming path, the sharded control "
+            "plane, or the streaming SLO observability plane"
         ),
     )
     ap.add_argument(
@@ -939,17 +1280,46 @@ def main(argv=None) -> int:
             "centralized, in percent (default 5%%)"
         ),
     )
+    ap.add_argument(
+        "--max-monitor-overhead",
+        type=float,
+        default=1.15,
+        help=(
+            "obs suite: max wall-time ratio of the monitored 1M-request "
+            "streaming run over the un-monitored one (default 1.15x)"
+        ),
+    )
+    ap.add_argument(
+        "--artifacts-dir",
+        type=Path,
+        default=None,
+        help=(
+            "write CI-uploadable artifacts (measurement JSON, phase-breakdown "
+            "table; obs suite also metrics.jsonl + openmetrics.txt) here"
+        ),
+    )
     ap.add_argument("--stream-probe", action="store_true", help=argparse.SUPPRESS)
+    ap.add_argument(
+        "--obs-probe", choices=("plain", "monitored"), default=None,
+        help=argparse.SUPPRESS,
+    )
     args = ap.parse_args(argv)
     if args.stream_probe:
         print(json.dumps(stream_probe()))
+        return 0
+    if args.obs_probe:
+        print(json.dumps(obs_probe(args.obs_probe)))
         return 0
     if args.baseline is None:
         args.baseline = {
             "sim": DEFAULT_SIM_BASELINE,
             "stream": DEFAULT_STREAM_BASELINE,
             "shard": DEFAULT_SHARD_BASELINE,
+            "obs": DEFAULT_OBS_BASELINE,
         }.get(args.suite, DEFAULT_BASELINE)
+
+    if args.suite == "obs":
+        return run_obs_suite(args)
 
     if args.suite == "shard":
         return run_shard_suite(args)
@@ -964,6 +1334,7 @@ def main(argv=None) -> int:
         return check_overhead(args.baseline, args.overhead)
 
     current = measure()
+    write_artifacts(args, "solver", current)
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(current, indent=2) + "\n")

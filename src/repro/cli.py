@@ -8,6 +8,12 @@ Commands:
   optionally save) the plan; ``--shards N`` routes the solve through the
   sharded control plane (partitioned solves + cross-shard migration);
 - ``simulate`` — solve then replay under Poisson load in the simulator;
+  ``--window-s``/``--slo-target`` switch on streaming-compatible windowed
+  SLO monitoring, ``--metrics-out`` saves the metrics stream for
+  ``repro monitor --from``;
+- ``monitor`` — live-refreshing text dashboard (SLO status, burn rates,
+  per-shard health, miss-rate sparklines) over a monitored run executed
+  cell-by-cell, or over a saved metrics stream (``--from``);
 - ``experiment ID`` — regenerate one table/figure (E1–E16);
 - ``chaos`` — replay a scenario under a seed-sampled fault schedule, with
   and without the failure-recovery policy ladder;
@@ -117,6 +123,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _window_config(args: argparse.Namespace):
+    """The windowed-metrics config the monitoring flags ask for, or None."""
+    from repro.telemetry import WindowConfig
+
+    if args.window_s is None and args.slo_target is None:
+        return None
+    return WindowConfig(window_s=args.window_s if args.window_s is not None else 1.0)
+
+
+def _slo_policy(args: argparse.Namespace):
+    from repro.telemetry import SLOPolicy, SLOTarget
+
+    if args.slo_target is None:
+        return None
+    return SLOPolicy(targets=(SLOTarget("*", args.slo_target),))
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     cluster, tasks, result = _solve(args)
     print(result.plan.summary())
@@ -128,6 +151,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         max_records=args.max_records,
         sim_workers=args.sim_workers,
+        windows=_window_config(args),
     )
     if args.cells > 1:
         report = run_cells(tasks, result.plan, cluster, cfg, args.cells)
@@ -140,6 +164,150 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"(streaming mode: {report.total_requests} requests folded into "
             f"bounded accumulators, {len(report.records)} reservoir records kept)"
         )
+    if report.windowed is not None:
+        from repro.telemetry import MetricsRegistry, MetricsStreamWriter, evaluate_slos
+
+        slo = None
+        policy = _slo_policy(args)
+        if policy is not None:
+            slo = evaluate_slos(report.windowed, policy)
+            print()
+            print(f"SLO ({args.slo_target * 100:g}% deadline satisfaction):")
+            print(slo.format())
+        if args.metrics_out:
+            registry = MetricsRegistry()
+            report.counters.publish(registry)
+            if getattr(result, "shard_plan", None) is not None:
+                result.publish_health(registry, tasks=tasks)
+            with MetricsStreamWriter(args.metrics_out) as out:
+                out.windowed_snapshot(args.horizon, report.windowed.snapshot())
+                if slo is not None:
+                    out.slo_report(args.horizon, slo.as_dict())
+                out.registry_snapshot(args.horizon, registry)
+            print(f"metrics stream written to {args.metrics_out}")
+    return 0
+
+
+def _print_frame(frame: str, live: bool) -> None:
+    if live and sys.stdout.isatty():  # pragma: no cover - interactive only
+        print("\x1b[2J\x1b[H", end="")
+    print(frame)
+
+
+def _monitor_replay(args: argparse.Namespace) -> int:
+    """Replay a saved metrics stream as dashboard frames."""
+    import time as _time
+
+    from repro.telemetry import read_metrics_stream, render_dashboard
+
+    events = read_metrics_stream(args.from_path)
+    if not events:
+        raise ReproError(f"metrics stream {args.from_path!r} is empty")
+    state = {"windows": None, "slo": None, "registry": None, "t_s": 0.0}
+    frames: List[dict] = []
+    for ev in events:
+        state["t_s"] = ev.get("t_s", state["t_s"])
+        if ev["kind"] == "windows":
+            state["windows"] = ev["windows"]
+            frames.append(dict(state))  # window flushes delimit frames
+        elif ev["kind"] == "slo":
+            state["slo"] = ev["slo"]
+        elif ev["kind"] == "registry":
+            state["registry"] = ev["metrics"]
+    if not frames or frames[-1] != state:
+        frames.append(dict(state))
+    if args.once:
+        frames = frames[-1:]
+    for i, f in enumerate(frames):
+        if i:
+            _time.sleep(args.refresh)
+        _print_frame(
+            render_dashboard(
+                f["t_s"], windows=f["windows"], slo=f["slo"],
+                registry=f["registry"],
+                title=f"repro monitor ({args.from_path})",
+            ),
+            live=not args.once,
+        )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Live SLO dashboard: run a monitored fan-out, or replay a stream."""
+    import dataclasses
+    import time as _time
+
+    from repro.sim.metrics import merge_reports
+    from repro.sim.runner import _cell_config
+    from repro.telemetry import (
+        MetricsRegistry,
+        MetricsStreamWriter,
+        WindowedMetrics,
+        evaluate_slos,
+        render_dashboard,
+    )
+
+    if args.from_path:
+        return _monitor_replay(args)
+
+    cluster, tasks, result = _solve(args)
+    wcfg = _window_config(args)
+    policy = _slo_policy(args)
+    cfg = SimulationConfig(
+        horizon_s=args.horizon,
+        warmup_s=min(args.horizon / 5, 5.0),
+        seed=args.seed,
+        streaming=True,
+        chunk_size=args.chunk_size,
+        windows=wcfg,
+    )
+    registry = MetricsRegistry()
+    if getattr(result, "shard_plan", None) is not None:
+        result.publish_health(registry, tasks=tasks)
+    out = MetricsStreamWriter(args.metrics_out) if args.metrics_out else None
+    # one traffic cell at a time: each cell carries 1/cells of the offered
+    # load, so the dashboard refreshes as coverage accumulates — the same
+    # decomposition run_cells fans out, just unrolled for display
+    scaled = [
+        dataclasses.replace(t, arrival_rate=t.arrival_rate / args.cells)
+        for t in tasks
+    ]
+    pooled = WindowedMetrics(wcfg, cfg.horizon_s)
+    reports = []
+    title = f"repro monitor ({args.scenario}, {args.cells} cells)"
+    try:
+        for c in range(args.cells):
+            rep = simulate_plan(scaled, result.plan, cluster, _cell_config(cfg, c))
+            reports.append(rep)
+            pooled.merge(rep.windowed)
+            t_s = args.horizon * (c + 1) / args.cells  # load coverage
+            slo = evaluate_slos(pooled, policy) if policy is not None else None
+            if out is not None:
+                out.windowed_snapshot(t_s, pooled.snapshot())
+                if slo is not None:
+                    out.slo_report(t_s, slo.as_dict())
+                out.registry_snapshot(t_s, registry)
+            if not args.once or c == args.cells - 1:
+                if c and not args.once:
+                    _time.sleep(args.refresh)
+                _print_frame(
+                    render_dashboard(
+                        t_s,
+                        windows=pooled.snapshot(),
+                        slo=slo.as_dict() if slo is not None else None,
+                        registry=registry.snapshot(),
+                        title=f"{title} [{c + 1}/{args.cells}]",
+                    ),
+                    live=not args.once,
+                )
+    finally:
+        if out is not None:
+            out.close()
+    merged = merge_reports(reports)
+    print()
+    print(merged.summary())
+    if out is not None:
+        print(f"metrics stream written to {args.metrics_out}")
     return 0
 
 
@@ -318,6 +486,8 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("solve", "solve a scenario and print the joint plan"),
         ("simulate", "solve a scenario, then measure the plan in the simulator"),
+        ("monitor", "live SLO dashboard over a monitored run or a saved "
+         "metrics stream"),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--scenario", choices=sorted(SCENARIOS), default="smart_city")
@@ -346,17 +516,23 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "solve":
             p.add_argument("--output", help="write the plan as JSON")
             p.set_defaults(fn=_cmd_solve)
-        else:
-            p.add_argument("--horizon", type=float, default=30.0, help="sim seconds")
+            continue
+        p.add_argument("--horizon", type=float, default=30.0, help="sim seconds")
+        p.add_argument(
+            "--chunk-size", type=int, default=65536,
+            help="target requests per streaming window (results identical "
+            "for any value)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            help="write the windowed/SLO/registry snapshots as a JSONL "
+            "metrics stream (replayable with `repro monitor --from`)",
+        )
+        if name == "simulate":
             p.add_argument(
                 "--streaming", action="store_true",
                 help="bounded-memory chunked sweep (records-free report; "
                 "required for very long horizons)",
-            )
-            p.add_argument(
-                "--chunk-size", type=int, default=65536,
-                help="target requests per streaming window (results identical "
-                "for any value)",
             )
             p.add_argument(
                 "--max-records", type=int, default=0,
@@ -371,7 +547,44 @@ def build_parser() -> argparse.ArgumentParser:
                 "--sim-workers", type=int, default=1,
                 help="worker processes for the cell fan-out",
             )
+            p.add_argument(
+                "--window-s", type=float, default=None,
+                help="tumbling-window size for streaming-compatible SLO "
+                "metrics (enables windowed monitoring)",
+            )
+            p.add_argument(
+                "--slo-target", type=float, default=None,
+                help="deadline-satisfaction SLO target in (0,1); prints the "
+                "burn-rate report (implies --window-s 1.0 if unset)",
+            )
             p.set_defaults(fn=_cmd_simulate)
+        else:  # monitor
+            p.add_argument(
+                "--cells", type=int, default=8,
+                help="traffic cells to run one at a time; the dashboard "
+                "refreshes after each (each cell carries 1/N of the load)",
+            )
+            p.add_argument(
+                "--window-s", type=float, default=1.0,
+                help="tumbling-window size for the SLO metrics",
+            )
+            p.add_argument(
+                "--slo-target", type=float, default=0.99,
+                help="deadline-satisfaction SLO target in (0,1)",
+            )
+            p.add_argument(
+                "--from", dest="from_path", default=None, metavar="FILE",
+                help="replay a saved metrics stream instead of running",
+            )
+            p.add_argument(
+                "--once", action="store_true",
+                help="render only the final frame and exit (no refresh loop)",
+            )
+            p.add_argument(
+                "--refresh", type=float, default=0.5,
+                help="seconds between dashboard frames",
+            )
+            p.set_defaults(fn=_cmd_monitor)
 
     p = sub.add_parser(
         "trace",

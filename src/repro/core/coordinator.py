@@ -105,6 +105,61 @@ class ShardedResult(JointResult):
     shard_stats: List[ShardStats] = field(default_factory=list)
     migration_history: List[int] = field(default_factory=list)  # accepted/round
 
+    def publish_health(self, registry, tasks: Optional[Sequence[TaskSpec]] = None) -> None:
+        """Publish per-shard health gauges into a metrics registry.
+
+        Emits ``shard.<s>.{tasks,objective,solve_s,iterations,migrations_in}``
+        gauges for every shard, plus ``shard.migration.accepted`` /
+        ``shard.migration.rounds`` for the coordinator as a whole.  When the
+        solved-over ``tasks`` sequence is supplied (same order as the
+        ``solve_sharded`` call), each shard additionally reports
+        ``utilization`` (mean compute-share load over its servers) and
+        ``violation_rate`` (fraction of homed tasks whose plan latency misses
+        the deadline) — the signals ``repro monitor`` renders per shard and
+        the drift monitor compares against.  Call once per result; the
+        migration counter is cumulative across publishes.
+        """
+        if self.shard_plan is None:
+            raise ConfigError("result has no shard plan to publish health for")
+        homed: Dict[int, int] = {}
+        for s in self.shard_plan.task_shard:
+            homed[s] = homed.get(s, 0) + 1
+        server_load: Dict[int, float] = {}
+        miss_by_shard: Dict[int, int] = {}
+        if tasks is not None:
+            if len(tasks) != len(self.shard_plan.task_shard):
+                raise ConfigError(
+                    "tasks must be the sequence solve_sharded ran over "
+                    f"({len(self.shard_plan.task_shard)} tasks, got {len(tasks)})"
+                )
+            for i, t in enumerate(tasks):
+                srv = self.plan.assignment.get(t.name)
+                if srv is not None:
+                    server_load[srv] = server_load.get(srv, 0.0) + self.plan.compute_shares[t.name]
+                if not (self.plan.latencies[t.name] <= t.deadline_s):
+                    s = self.shard_plan.task_shard[i]
+                    miss_by_shard[s] = miss_by_shard.get(s, 0) + 1
+        for st in self.shard_stats:
+            n = homed.get(st.shard, 0)
+            prefix = f"shard.{st.shard}"
+            registry.gauge(f"{prefix}.tasks").set(float(n))
+            registry.gauge(f"{prefix}.objective").set(float(st.objective))
+            registry.gauge(f"{prefix}.solve_s").set(float(st.solve_s))
+            registry.gauge(f"{prefix}.iterations").set(float(st.iterations))
+            registry.gauge(f"{prefix}.migrations_in").set(float(n - st.num_tasks))
+            if tasks is not None:
+                util = (
+                    sum(server_load.get(srv, 0.0) for srv in st.servers) / len(st.servers)
+                    if st.servers
+                    else 0.0
+                )
+                registry.gauge(f"{prefix}.utilization").set(util)
+                registry.gauge(f"{prefix}.violation_rate").set(
+                    miss_by_shard.get(st.shard, 0) / n if n else 0.0
+                )
+        registry.counter("shard.migration.accepted").inc(sum(self.migration_history))
+        registry.gauge("shard.migration.rounds").set(float(len(self.migration_history)))
+
 
 def solve_sharded(
     tasks: Sequence[TaskSpec],

@@ -31,11 +31,13 @@ from repro.core.candidates import CandidateSet, build_candidates
 from repro.core.joint import JointOptimizer, JointSolverConfig
 from repro.core.objectives import Objective
 from repro.core.plan import JointPlan, TaskSpec
+from repro.core.sharding import ShardPlan
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
 from repro.errors import ConfigError
 from repro.network.link import Link
 from repro.network.topology import StarTopology
+from repro.telemetry.drift import DriftConfig, ShardDriftMonitor
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,10 @@ class EnvironmentSample:
     ``server_down`` / ``server_up`` report edge-server liveness transitions
     (health-check outcomes): a newly-down server that carries assigned tasks
     triggers an *immediate* plan repair, bypassing drift hysteresis.
+    ``service_times_s`` maps task name -> measured mean service time; it does
+    not feed the re-plan trigger (the solver models service time analytically)
+    but it does feed the statistical drift monitor, which flags shards whose
+    measured behaviour has shifted from the solved-for regime.
     """
 
     time_s: float
@@ -55,6 +61,7 @@ class EnvironmentSample:
     arrival_rates: Dict[str, float] = field(default_factory=dict)
     server_down: Tuple[str, ...] = ()
     server_up: Tuple[str, ...] = ()
+    service_times_s: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
@@ -65,6 +72,9 @@ class EnvironmentSample:
         for name, rate in self.arrival_rates.items():
             if rate <= 0:
                 raise ConfigError(f"non-positive arrival rate for {name}")
+        for name, svc in self.service_times_s.items():
+            if svc <= 0:
+                raise ConfigError(f"non-positive service time for {name!r}")
         overlap = set(self.server_down) & set(self.server_up)
         if overlap:
             raise ConfigError(f"servers both down and up in one sample: {overlap}")
@@ -117,9 +127,17 @@ class OnlineController:
         config: Optional[ControllerConfig] = None,
         candidates: Optional[Sequence[CandidateSet]] = None,
         seed: int = 0,
+        drift: Optional[DriftConfig] = None,
+        shard_plan: Optional[ShardPlan] = None,
+        registry=None,
     ) -> None:
         if not tasks:
             raise ConfigError("controller needs at least one task")
+        if shard_plan is not None and len(shard_plan.task_shard) != len(tasks):
+            raise ConfigError(
+                "shard_plan homes a different task set "
+                f"({len(shard_plan.task_shard)} tasks, controller has {len(tasks)})"
+            )
         self.config = config or ControllerConfig()
         self._objective = objective
         self._solver_config = solver_config or JointSolverConfig()
@@ -145,6 +163,17 @@ class OnlineController:
         self._solved_rates: Dict[str, float] = {}
         self._last_replan_s = -np.inf
         self.events: List[ControllerEvent] = []
+        # statistical drift monitor (independent of the thresholded re-plan
+        # trigger): flags *which shards* have left the solved-for regime
+        self._shard_plan = shard_plan
+        self._registry = registry
+        self.drift_monitor: Optional[ShardDriftMonitor] = None
+        if drift is not None:
+            task_shard = {
+                t.name: (shard_plan.task_shard[i] if shard_plan is not None else 0)
+                for i, t in enumerate(tasks)
+            }
+            self.drift_monitor = ShardDriftMonitor(task_shard, drift, seed=seed)
         self._plan = self._solve(time_s=0.0, reason="initial solve")
 
     # -- public API ------------------------------------------------------------
@@ -162,6 +191,19 @@ class OnlineController:
     def down_servers(self) -> Tuple[str, ...]:
         """Servers currently believed down, sorted."""
         return tuple(sorted(self._down_servers))
+
+    @property
+    def drifted_shards(self) -> Tuple[int, ...]:
+        """Shards the statistical drift monitor currently flags, sorted.
+
+        Empty when drift detection is off (no ``DriftConfig`` given) or no
+        stream has accumulated enough samples to shift verdict.  These are
+        the shards worth routing through a targeted shard-local re-solve
+        rather than a full re-plan.
+        """
+        if self.drift_monitor is None:
+            return ()
+        return self.drift_monitor.drifted_shards()
 
     def current_cluster(self) -> EdgeCluster:
         """The cluster patched with observed bandwidths, minus down servers.
@@ -212,6 +254,25 @@ class OnlineController:
             if name not in self._rates:
                 raise ConfigError(f"sample references unknown task {name!r}")
             self._rates[name] = rate
+        for name in sample.service_times_s:
+            if name not in self._rates:
+                raise ConfigError(f"sample references unknown task {name!r}")
+        if self.drift_monitor is not None:
+            for name, rate in sample.arrival_rates.items():
+                self.drift_monitor.observe(name, arrival_rate=rate)
+            for name, svc in sample.service_times_s.items():
+                self.drift_monitor.observe(name, service_time_s=svc)
+            if self._registry is not None:
+                drifted = set(self.drift_monitor.drifted_shards())
+                shards = (
+                    range(self._shard_plan.num_shards)
+                    if self._shard_plan is not None
+                    else (0,)
+                )
+                for s in shards:
+                    self._registry.gauge(f"shard.{s}.drifted").set(
+                        1.0 if s in drifted else 0.0
+                    )
         known = {s.name for s in self._base_cluster.servers}
         newly_down: List[str] = []
         for name in sample.server_down:

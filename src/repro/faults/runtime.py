@@ -48,6 +48,7 @@ from repro.sim.metrics import MetricsCollector, SimCounters, SimulationReport
 from repro.sim.queues import FifoResource, LinkResource
 from repro.sim.sources import arrival_times
 from repro.telemetry.timeline import TimelineRecorder
+from repro.telemetry.windows import WindowedMetrics
 
 __all__ = ["simulate_with_faults"]
 
@@ -126,6 +127,12 @@ def simulate_with_faults(
     if rec is not None:
         sim.on_event = lambda now, pending: rec.sample("sim.pending_events", now, pending)
     metrics = MetricsCollector(warmup_s=cfg.warmup_s)
+    # windowed SLO aggregation works on fault runs too: completions feed the
+    # met/miss counters, lost/shed/degraded outcomes annotate their windows
+    wm = (
+        WindowedMetrics(cfg.windows, cfg.horizon_s)
+        if getattr(cfg, "windows", None) is not None else None
+    )
 
     # -- resources ------------------------------------------------------------
     device_res: Dict[str, FifoResource] = {}
@@ -198,6 +205,8 @@ def simulate_with_faults(
             if rec is not None:
                 rec.event(req.arrival_s, "shed", task.name, req.req_id)
                 rec.count("sim.shed")
+            if wm is not None and req.arrival_s >= cfg.warmup_s:
+                wm.mark(task.name, req.arrival_s, "shed")
             return
         active = plans[k]
         feats = active.features[task.name]
@@ -244,6 +253,15 @@ def simulate_with_faults(
                     degraded=degraded,
                 )
             )
+            if wm is not None and req.arrival_s >= cfg.warmup_s:
+                wm.observe_one(
+                    task.name,
+                    completion,
+                    completion - req.arrival_s,
+                    completion <= req.deadline_s + 1e-12,
+                )
+                if degraded:
+                    wm.mark(task.name, completion, "degraded")
 
         # -- recovery ladder ---------------------------------------------------
         def attempt_failed(at: float, dev_busy: float, attempt: int, reason: str) -> None:
@@ -266,6 +284,8 @@ def simulate_with_faults(
             if rec is not None:
                 rec.event(at, "lost", task.name, req.req_id)
                 rec.count("sim.lost")
+            if wm is not None and req.arrival_s >= cfg.warmup_s:
+                wm.mark(task.name, at, "lost")
 
         def degrade(dev_busy: float) -> None:
             now = sim.now
@@ -498,6 +518,7 @@ def simulate_with_faults(
     counters.discarded_warmup = metrics.discarded
     counters.events = sim.events_processed
     report.counters = counters
+    report.windowed = wm
     if not counters.conserved():
         raise SimulationError(
             f"request conservation violated: {counters.requests} launched != "

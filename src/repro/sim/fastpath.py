@@ -49,6 +49,7 @@ from repro.sim.execution import RealizationTable
 from repro.sim.metrics import SimCounters, StreamingStats
 from repro.sim.queues import FifoResource, LinkResource
 from repro.sim.sources import arrival_stream, arrival_times
+from repro.telemetry.windows import WindowedMetrics
 
 __all__ = ["sweep_pipeline", "sweep_pipeline_streaming"]
 
@@ -206,13 +207,17 @@ def sweep_pipeline(
     task_server_res: Dict[str, FifoResource],
     task_uplink_res: Dict[str, LinkResource],
     task_downlink_res: Dict[str, LinkResource],
+    windowed: "WindowedMetrics | None" = None,
 ) -> Tuple[List[RequestRecord], int, SimCounters]:
     """Vectorized equivalent of the event loop over already-built resources.
 
     Mutates the resources exactly as the event loop would (busy horizons,
     busy time, job counts) and returns ``(records, discarded, counters)``
     where ``records`` is warmup-filtered and in the event loop's completion
-    order.  Bit-identical to the event path by construction.
+    order.  Bit-identical to the event path by construction.  With
+    ``windowed`` set, warmup-filtered completions additionally fold into the
+    tumbling-window aggregator (integer state bit-identical to the event
+    loop's scalar feed — window/bin indices use the same double ops).
     """
     streams = [_TaskStream(t, plan, cfg) for t in tasks]
     total = sum(s.n for s in streams)
@@ -224,6 +229,15 @@ def sweep_pipeline(
         _sweep_offload_stages(
             s, task_server_res, task_uplink_res, task_downlink_res
         )
+        if windowed is not None:
+            keep = s.arrival >= cfg.warmup_s
+            comp = s.completion[keep]
+            windowed.observe(
+                s.task.name,
+                comp,
+                comp - s.arrival[keep],
+                comp <= s.deadline[keep] + 1e-12,
+            )
 
     arrival = np.concatenate([s.arrival for s in streams])
     completion = np.concatenate([s.completion for s in streams])

@@ -29,6 +29,10 @@ from repro.rng import derive
 from repro.sim.entities import RequestRecord
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timeline import Timeline
+from repro.telemetry.windows import KahanSum, LatencyHistogram, WindowedMetrics
+
+#: back-compat alias: the compensated sum moved to repro.telemetry.windows
+_KahanSum = KahanSum
 
 
 @dataclass
@@ -119,100 +123,6 @@ class TaskStats:
     offload_fraction: float
     mean_exit_position: float
     mean_queueing_s: float
-
-
-class LatencyHistogram:
-    """Fixed-bin latency histogram with exact counts and running extremes.
-
-    Bins are ``[k·bin_s, (k+1)·bin_s)`` over ``[0, max_s)``; latencies at or
-    beyond ``max_s`` land in an overflow bucket whose exact maximum is
-    tracked, so the histogram never loses counts.  Quantiles are reported as
-    the upper edge of the bin holding the ceil-rank order statistic — exact
-    within one ``bin_s`` of that order statistic.
-    """
-
-    __slots__ = ("bin_s", "max_s", "counts", "overflow", "min_s", "max_seen_s")
-
-    def __init__(self, bin_s: float = 5e-4, max_s: float = 30.0) -> None:
-        if bin_s <= 0 or max_s <= bin_s:
-            raise SimulationError(f"invalid histogram bins: bin_s={bin_s} max_s={max_s}")
-        self.bin_s = bin_s
-        self.max_s = max_s
-        self.counts = np.zeros(int(np.ceil(max_s / bin_s)), dtype=np.int64)
-        self.overflow = 0
-        self.min_s = float("inf")
-        self.max_seen_s = float("-inf")
-
-    @property
-    def count(self) -> int:
-        return int(self.counts.sum()) + self.overflow
-
-    def observe(self, latencies: np.ndarray) -> None:
-        """Fold a chunk of latencies (seconds) into the histogram."""
-        if latencies.size == 0:
-            return
-        self.min_s = min(self.min_s, float(latencies.min()))
-        self.max_seen_s = max(self.max_seen_s, float(latencies.max()))
-        idx = (latencies / self.bin_s).astype(np.int64)
-        over = idx >= self.counts.size
-        self.overflow += int(np.count_nonzero(over))
-        inside = idx[~over]
-        if inside.size:
-            self.counts += np.bincount(inside, minlength=self.counts.size)
-
-    def quantile(self, q: float) -> float:
-        """Latency of the ceil-rank order statistic at percentile ``q``.
-
-        Returns the upper edge of that element's bin (exact running max for
-        the overflow region), so the error versus the exact order statistic
-        is at most ``bin_s``.
-        """
-        n = self.count
-        if n == 0:
-            return float("nan")
-        if not (0.0 <= q <= 100.0):
-            raise SimulationError(f"quantile {q} outside [0, 100]")
-        rank = int(np.ceil((n - 1) * q / 100.0))  # 0-based ceil rank
-        cum = np.cumsum(self.counts)
-        if rank >= int(cum[-1]):  # lands in the overflow bucket
-            return self.max_seen_s
-        b = int(np.searchsorted(cum, rank + 1, side="left"))
-        return (b + 1) * self.bin_s
-
-    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
-        """Exact accumulation of ``other`` (same binning) into ``self``."""
-        if self.bin_s != other.bin_s or self.max_s != other.max_s:
-            raise SimulationError(
-                "cannot merge histograms with different binning: "
-                f"({self.bin_s}, {self.max_s}) vs ({other.bin_s}, {other.max_s})"
-            )
-        self.counts += other.counts
-        self.overflow += other.overflow
-        self.min_s = min(self.min_s, other.min_s)
-        self.max_seen_s = max(self.max_seen_s, other.max_seen_s)
-        return self
-
-
-class _KahanSum:
-    """Neumaier-compensated running sum (order-stable, near-exact means)."""
-
-    __slots__ = ("total", "_comp")
-
-    def __init__(self) -> None:
-        self.total = 0.0
-        self._comp = 0.0
-
-    def add(self, value: float) -> None:
-        t = self.total + value
-        if abs(self.total) >= abs(value):
-            self._comp += (self.total - t) + value
-        else:
-            self._comp += (value - t) + self.total
-        self.total = t
-
-    @property
-    def value(self) -> float:
-        return self.total + self._comp
 
 
 class StreamingTaskStats:
@@ -306,6 +216,7 @@ class StreamingStats:
         max_s: float = 30.0,
         max_records: int = 0,
         seed: Union[int, None] = 0,
+        windowed: Optional[WindowedMetrics] = None,
     ) -> None:
         if max_records < 0:
             raise SimulationError("max_records must be >= 0")
@@ -316,6 +227,9 @@ class StreamingStats:
         self.reservoir: List[RequestRecord] = []
         self._seen = 0  # completions offered to the reservoir so far
         self._rng = derive(seed, "reservoir") if max_records > 0 else None
+        #: optional tumbling-window SLO aggregator fed alongside the running
+        #: sums (owned by the caller; not merged by :meth:`merge`)
+        self.windowed = windowed
 
     # -- accumulation ---------------------------------------------------------
 
@@ -348,6 +262,8 @@ class StreamingStats:
         if stats is None:
             stats = self.per_task[task_name] = StreamingTaskStats(self.bin_s, self.max_s)
         stats.observe(latency, met, correct, offloaded, positions, queueing)
+        if self.windowed is not None:
+            self.windowed.observe(task_name, completion, latency, met)
         if self._rng is not None:
             self._sample(
                 task_name, req_ids, arrival, completion, deadline, positions,
@@ -502,6 +418,9 @@ class SimulationReport:
     counters: SimCounters = field(default_factory=SimCounters)
     #: streaming accumulator (records-free runs only, else None)
     stream: Optional[StreamingStats] = None
+    #: tumbling-window SLO aggregates (``SimulationConfig(windows=...)`` runs
+    #: only, else None); feeds :func:`repro.telemetry.slo.evaluate_slos`
+    windowed: Optional[WindowedMetrics] = None
     #: lazily built columnar arrays over ``records`` (latency/met/correct/…)
     _cache: Dict[str, np.ndarray] = field(
         default_factory=dict, repr=False, compare=False
@@ -742,6 +661,17 @@ def merge_reports(reports: Sequence[SimulationReport]) -> SimulationReport:
         merged = SimulationReport.from_records(
             records, horizon, utils, discarded=discarded
         )
+    n_windowed = sum(1 for r in reports if r.windowed is not None)
+    if 0 < n_windowed < len(reports):
+        raise SimulationError(
+            "cannot merge windowed and window-free reports: "
+            f"{n_windowed} of {len(reports)} carry windowed metrics"
+        )
+    if n_windowed:
+        pooled_w = WindowedMetrics(reports[0].windowed.config, horizon)
+        for r in reports:
+            pooled_w.merge(r.windowed)
+        merged.windowed = pooled_w
     merged.counters = SimCounters.merged(
         {i: r.counters for i, r in enumerate(reports)}
     )

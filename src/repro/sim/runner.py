@@ -62,6 +62,7 @@ from repro.sim.metrics import (
 from repro.sim.queues import FifoResource, LinkResource
 from repro.sim.sources import arrival_times
 from repro.telemetry.timeline import TimelineRecorder
+from repro.telemetry.windows import WindowConfig, WindowedMetrics
 
 _ARRIVALS = {"poisson", "deterministic", "mmpp"}
 
@@ -110,6 +111,12 @@ class SimulationConfig:
     hist_bin_s: float = 5e-4
     #: latencies at/above this land in the histogram overflow bucket
     hist_max_s: float = 30.0
+    #: tumbling-window SLO aggregation (:class:`~repro.telemetry.windows.
+    #: WindowConfig`); unlike per-request telemetry this works on *every*
+    #: engine — event loop, one-shot fast path, chunked streaming sweep, and
+    #: fault runs — with bit-identical integer state, and lands in
+    #: ``SimulationReport.windowed``.  None (default) costs nothing.
+    windows: Optional[WindowConfig] = None
     #: internal (set by :func:`run_cells`): a run that generates zero
     #: requests returns an empty report instead of raising — Poisson
     #: thinning across many cells can legitimately leave one cell silent
@@ -145,8 +152,11 @@ class SimulationConfig:
                 raise ConfigError("streaming requires the fast path")
             if self.telemetry:
                 raise ConfigError(
-                    "streaming is incompatible with telemetry (gauges sample "
-                    "on event boundaries the chunked sweep does not visit)"
+                    "streaming is incompatible with per-request telemetry: "
+                    "timelines and queue gauges sample on event boundaries "
+                    "the chunked sweep does not visit.  Window-granularity "
+                    "SLO metrics *are* streaming-compatible — set "
+                    "windows=WindowConfig(...) instead of telemetry=True"
                 )
             if self.faults is not None:
                 raise ConfigError(
@@ -264,13 +274,21 @@ def simulate_plan(
     if plan_updates:
         raise ConfigError("plan_updates require a fault schedule")
     if cfg.streaming and rec is not None:
-        raise ConfigError("streaming runs cannot attach a telemetry recorder")
+        raise ConfigError(
+            "streaming runs cannot attach a per-request telemetry recorder; "
+            "use windows=WindowConfig(...) for streaming-compatible metrics"
+        )
     resources = _build_resources(tasks, plan, cluster, lm, cfg, rec)
     device_res, task_server_res, task_uplink_res, task_downlink_res = resources
+    wm = (
+        WindowedMetrics(cfg.windows, cfg.horizon_s)
+        if cfg.windows is not None else None
+    )
 
     if cfg.streaming:
         stats = StreamingStats(
-            cfg.hist_bin_s, cfg.hist_max_s, cfg.max_records, seed=cfg.seed
+            cfg.hist_bin_s, cfg.hist_max_s, cfg.max_records, seed=cfg.seed,
+            windowed=wm,
         )
         discarded, counters = sweep_pipeline_streaming(
             tasks, plan, cfg,
@@ -284,12 +302,14 @@ def simulate_plan(
             discarded=discarded,
         )
         report.counters = counters
+        report.windowed = wm
         return report
 
     if rec is None and cfg.fast_path:
         records, discarded, counters = sweep_pipeline(
             tasks, plan, cfg,
             device_res, task_server_res, task_uplink_res, task_downlink_res,
+            windowed=wm,
         )
         report = SimulationReport.from_records(
             records,
@@ -298,6 +318,7 @@ def simulate_plan(
             discarded=discarded,
         )
         report.counters = counters
+        report.windowed = wm
         return report
 
     reg = rec.registry if rec is not None else None
@@ -340,6 +361,15 @@ def simulate_plan(
                     net_busy_s=net_busy,
                 )
             )
+            if wm is not None and req.arrival_s >= cfg.warmup_s:
+                # same filter, latency, and met test as the fast-path feeds —
+                # the windowed integer state stays bit-identical across engines
+                wm.observe_one(
+                    task.name,
+                    completion,
+                    completion - req.arrival_s,
+                    completion <= req.deadline_s + 1e-12,
+                )
 
         def stage_device() -> None:
             if rec is not None:
@@ -419,6 +449,7 @@ def simulate_plan(
         events=sim.events_processed,
         replications=1,
     )
+    report.windowed = wm
     if reg is not None:
         report.counters.publish(reg)
     return report

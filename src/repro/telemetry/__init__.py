@@ -1,6 +1,6 @@
-"""First-class observability: structured tracing, metrics, event timelines.
+"""First-class observability: tracing, metrics, timelines, and the SLO plane.
 
-Three cooperating pieces (see DESIGN.md §9 for the taxonomy):
+Cooperating pieces (see DESIGN.md §9 for the taxonomy):
 
 - :mod:`repro.telemetry.trace` — a span-based tracer with nested spans,
   thread-local buffers that merge deterministically across parallel solver
@@ -12,13 +12,30 @@ Three cooperating pieces (see DESIGN.md §9 for the taxonomy):
 - :mod:`repro.telemetry.timeline` — per-request simulator event timelines
   (enqueue → dequeue → exec-start → transfer → exit-taken → complete) and the
   nullable :class:`TimelineRecorder` handle the simulator threads them
-  through.
+  through.  Event-loop-only: gauges sample on event boundaries.
+- :mod:`repro.telemetry.windows` — tumbling-window SLO aggregates
+  (:class:`WindowedMetrics`) with bounded memory; the streaming-compatible
+  half of telemetry, bit-identical between the event loop and the fast path.
+- :mod:`repro.telemetry.slo` — deadline-satisfaction targets and
+  multi-window burn-rate monitors evaluated from the windowed integers.
+- :mod:`repro.telemetry.drift` — seeded windowed mean-shift drift detection
+  lifted to control-plane shards (:class:`ShardDriftMonitor`).
+- :mod:`repro.telemetry.export` — OpenMetrics/Prometheus text exposition and
+  JSONL metrics streams; :mod:`repro.telemetry.dashboard` renders them.
 
-Entry point: ``repro trace`` (CLI) enables everything for one run, writes
-``trace.json`` (Perfetto-loadable) + ``metrics.jsonl``, and prints the solver
-phase breakdown.
+Entry points: ``repro trace`` (per-request deep dive) and ``repro monitor``
+(live SLO dashboard over a running or saved monitored run).
 """
 
+from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.drift import DriftConfig, DriftDetector, ShardDriftMonitor
+from repro.telemetry.export import (
+    MetricsStreamWriter,
+    export_openmetrics,
+    openmetrics_lines,
+    openmetrics_text,
+    read_metrics_stream,
+)
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
@@ -27,6 +44,14 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     get_registry,
     set_registry,
+)
+from repro.telemetry.slo import (
+    SLOAlert,
+    SLOPolicy,
+    SLOReport,
+    SLOTarget,
+    TaskSLO,
+    evaluate_slos,
 )
 from repro.telemetry.timeline import (
     EVENT_KINDS,
@@ -44,25 +69,51 @@ from repro.telemetry.trace import (
     phase_breakdown,
     set_tracer,
 )
+from repro.telemetry.windows import (
+    KahanSum,
+    LatencyHistogram,
+    WindowConfig,
+    WindowedMetrics,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "DriftConfig",
+    "DriftDetector",
     "EVENT_KINDS",
     "Gauge",
     "Histogram",
+    "KahanSum",
+    "LatencyHistogram",
     "MetricsRegistry",
+    "MetricsStreamWriter",
     "NULL_SPAN",
+    "SLOAlert",
+    "SLOPolicy",
+    "SLOReport",
+    "SLOTarget",
+    "ShardDriftMonitor",
     "Span",
+    "TaskSLO",
     "Timeline",
     "TimelineEvent",
     "TimelineRecorder",
     "Tracer",
+    "WindowConfig",
+    "WindowedMetrics",
+    "evaluate_slos",
     "export_jsonl",
+    "export_openmetrics",
     "export_perfetto",
     "get_registry",
     "get_tracer",
+    "openmetrics_lines",
+    "openmetrics_text",
     "phase_breakdown",
+    "read_metrics_stream",
+    "render_dashboard",
     "set_registry",
     "set_tracer",
+    "sparkline",
 ]

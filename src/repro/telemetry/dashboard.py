@@ -1,0 +1,139 @@
+"""Text dashboard rendering for ``repro monitor``.
+
+Pure functions from plain-dict snapshots (the same JSON shapes the metrics
+stream carries: ``WindowedMetrics.snapshot()``, ``SLOReport.as_dict()``,
+``MetricsRegistry.snapshot()``) to a fixed-width text frame.  Keeping the
+renderer side-effect free makes it trivially testable and lets the live
+dashboard and the ``--from`` replay share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[Optional[float]], width: int = 40) -> str:
+    """Render a numeric series as unicode block characters.
+
+    ``None``/missing samples render as ``·``.  The series is tail-truncated
+    to ``width`` samples; scale is 0..max over the rendered span.
+    """
+    tail = values[-width:] if len(values) > width else values
+    present = [v for v in tail if v is not None]
+    top = max(present) if present else 0.0
+    out = []
+    for v in tail:
+        if v is None:
+            out.append("·")
+        elif top <= 0:
+            out.append(_SPARK[1])
+        else:
+            idx = 1 + int(round((len(_SPARK) - 2) * (v / top)))
+            out.append(_SPARK[min(idx, len(_SPARK) - 1)])
+    return "".join(out)
+
+
+def _slo_section(slo: Dict[str, Any]) -> List[str]:
+    lines = [
+        f"{'task':>12s} {'target':>7s} {'achieved':>9s} {'budget':>8s} "
+        f"{'alerts':>6s}  status"
+    ]
+    for task in sorted(slo.get("tasks", {})):
+        t = slo["tasks"][task]
+        lines.append(
+            f"{task:>12s} {t['target'] * 100:6.2f}% {t['achieved'] * 100:8.3f}% "
+            f"{t['budget_spent'] * 100:7.1f}% {len(t['alerts']):6d}  {t['status']}"
+        )
+    return lines
+
+
+def _windows_section(windows: Dict[str, Any], width: int) -> List[str]:
+    lines = [f"miss-rate per {windows['window_s']:g}s window (tail):"]
+    for task in sorted(windows.get("tasks", {})):
+        t = windows["tasks"][task]
+        total = sum(t["counts"])
+        lines.append(
+            f"  {task:>12s} [{sparkline(t['miss_rate'], width)}] n={total}"
+        )
+    return lines
+
+
+def _gauge_rows(
+    registry: Dict[str, Any], prefix: str
+) -> List[Dict[str, Any]]:
+    rows = []
+    for name in sorted(registry):
+        if name.startswith(prefix) and registry[name]["type"] == "gauge":
+            rows.append({"name": name[len(prefix):], **registry[name]})
+    return rows
+
+
+def _shard_section(registry: Dict[str, Any]) -> List[str]:
+    """Per-shard health table from ``shard.<s>.<field>`` gauges."""
+    shards: Dict[str, Dict[str, float]] = {}
+    for name in registry:
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "shard" and parts[1].isdigit():
+            snap = registry[name]
+            if snap["type"] == "gauge" and snap.get("count"):
+                shards.setdefault(parts[1], {})[parts[2]] = snap["value"]
+    if not shards:
+        return []
+    fields = ("tasks", "objective", "solve_s", "migrations_in",
+              "utilization", "violation_rate", "drifted")
+    header = f"{'shard':>6s}" + "".join(f"{f:>15s}" for f in fields)
+    lines = ["per-shard health:", header]
+    for s in sorted(shards, key=int):
+        row = f"{s:>6s}"
+        for f in fields:
+            v = shards[s].get(f)
+            row += f"{v:15.4g}" if v is not None else f"{'-':>15s}"
+        lines.append(row)
+    return lines
+
+
+def _queue_section(registry: Dict[str, Any], width: int) -> List[str]:
+    depth = _gauge_rows(registry, "sim.queue_depth.")
+    if not depth:
+        return []
+    lines = ["queue depth (last / max):"]
+    for row in depth[: max(1, width // 5)]:
+        lines.append(
+            f"  {row['name']:>12s} {row['value']:8.1f} / {row['max']:8.1f}"
+        )
+    return lines
+
+
+def render_dashboard(
+    t_s: float,
+    windows: Optional[Dict[str, Any]] = None,
+    slo: Optional[Dict[str, Any]] = None,
+    registry: Optional[Dict[str, Any]] = None,
+    title: str = "repro monitor",
+    width: int = 48,
+) -> str:
+    """Render one dashboard frame from snapshot dicts; absent sections skip."""
+    bar = "=" * 72
+    lines = [bar, f"{title} @ t={t_s:.1f}s", bar]
+    if slo is not None:
+        status = "OK" if slo.get("ok") else "VIOLATED"
+        lines.append(f"SLO: {status}")
+        lines.extend(_slo_section(slo))
+        lines.append("")
+    if windows is not None:
+        lines.extend(_windows_section(windows, width))
+        lines.append("")
+    if registry is not None:
+        shard = _shard_section(registry)
+        if shard:
+            lines.extend(shard)
+            lines.append("")
+        queues = _queue_section(registry, width)
+        if queues:
+            lines.extend(queues)
+            lines.append("")
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Exporters: OpenMetrics text exposition + structured JSONL metrics streams.
+
+Two output formats for the same state:
+
+* :func:`openmetrics_text` renders a :class:`~repro.telemetry.metrics.
+  MetricsRegistry` snapshot in the OpenMetrics/Prometheus text exposition
+  format — dot-separated repo names become underscore-separated metric
+  families, counters gain the ``_total`` suffix, histograms emit cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``, and the document ends
+  with ``# EOF`` as the spec requires.  Any Prometheus-compatible scraper or
+  ``promtool check metrics`` can consume the result.
+* :class:`MetricsStreamWriter` appends timestamped JSONL events — registry
+  snapshots, windowed-metric snapshots, SLO reports — producing the saved
+  metrics stream ``repro monitor --from`` replays.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Sanitize a dot-separated repo metric name into an OpenMetrics name."""
+    flat = _INVALID.sub("_", f"{prefix}_{name}" if prefix else name)
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def openmetrics_lines(
+    snapshot: Dict[str, Dict[str, Any]], prefix: str = "repro"
+) -> Iterator[str]:
+    """Render a registry snapshot as OpenMetrics text lines (with ``# EOF``)."""
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap["type"]
+        flat = _metric_name(name, prefix)
+        if kind == "counter":
+            yield f"# TYPE {flat} counter"
+            yield f"{flat}_total {_fmt(snap['value'])}"
+        elif kind == "gauge":
+            if snap["count"] == 0:
+                continue
+            yield f"# TYPE {flat} gauge"
+            yield f"{flat} {_fmt(snap['value'])}"
+            yield f"# TYPE {flat}_min gauge"
+            yield f"{flat}_min {_fmt(snap['min'])}"
+            yield f"# TYPE {flat}_max gauge"
+            yield f"{flat}_max {_fmt(snap['max'])}"
+        else:  # histogram
+            yield f"# TYPE {flat} histogram"
+            cum = 0
+            for bound, count in zip(snap["bounds"], snap["counts"]):
+                cum += count
+                yield f'{flat}_bucket{{le="{_fmt(bound)}"}} {cum}'
+            cum += snap["overflow"]
+            yield f'{flat}_bucket{{le="+Inf"}} {cum}'
+            yield f"{flat}_sum {_fmt(snap['sum'])}"
+            yield f"{flat}_count {snap['total']}"
+    yield "# EOF"
+
+
+def openmetrics_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The full OpenMetrics document for a registry's current state."""
+    return "\n".join(openmetrics_lines(registry.snapshot(), prefix)) + "\n"
+
+
+def export_openmetrics(
+    registry: MetricsRegistry, path: str, prefix: str = "repro"
+) -> None:
+    """Write the OpenMetrics document to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(openmetrics_text(registry, prefix))
+
+
+class MetricsStreamWriter:
+    """Append-only JSONL event log of metric snapshots.
+
+    Each line is one event: ``{"t_s": <sim-time>, "kind": <event kind>,
+    ...payload}``.  The stream is self-describing — ``repro monitor --from``
+    replays it without any side channel — and append-only, so a live run and
+    a tailing dashboard can share the file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w")
+
+    def write(self, kind: str, t_s: float, payload: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"metrics stream {self.path} already closed")
+        event = {"t_s": float(t_s), "kind": kind}
+        event.update(payload)
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+
+    def registry_snapshot(self, t_s: float, registry: MetricsRegistry) -> None:
+        self.write("registry", t_s, {"metrics": registry.snapshot()})
+
+    def windowed_snapshot(self, t_s: float, snapshot: Dict[str, Any]) -> None:
+        self.write("windows", t_s, {"windows": snapshot})
+
+    def slo_report(self, t_s: float, report_dict: Dict[str, Any]) -> None:
+        self.write("slo", t_s, {"slo": report_dict})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "MetricsStreamWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_metrics_stream(path: str) -> List[Dict[str, Any]]:
+    """Parse a saved metrics stream back into its event list."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,462 @@
+"""Windowed metric aggregation: the streaming-compatible half of telemetry.
+
+Per-request timelines (:mod:`repro.telemetry.timeline`) need the event loop —
+gauges sample on event boundaries the chunked fast path never visits.  This
+module provides the complement: **tumbling-window aggregates** whose state is
+a handful of fixed-size integer arrays, cheap enough to update from a
+million-request streaming sweep and exact enough to drive SLO monitoring.
+
+Design contract (the basis of the gate's bit-identity check):
+
+* All *integer* state — request counts, deadline-met counts, per-window
+  latency-histogram bins, fault marks — is order-independent under addition,
+  so the event loop (scalar observes in completion order) and the vectorized
+  fast path (chunked column observes in stream order) produce **bit-identical**
+  arrays for the same seeded workload.  Window and bin indices are computed
+  with the same IEEE-754 double division + truncation in both paths.
+* Float state (Kahan-compensated latency sums) is accumulation-order
+  dependent at the ulp level and therefore *excluded* from
+  :meth:`WindowedMetrics.fingerprint`; per-window maxima are order-independent
+  and included.
+
+:class:`KahanSum` and :class:`LatencyHistogram` started life in
+``repro.sim.metrics`` (PR 5); they live here now so the sim can depend on
+telemetry without a cycle, and are re-exported from their old home.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+
+#: fault-annotation kinds a window can be marked with (per completed-or-lost
+#: request); these feed the SLO error budget alongside deadline misses
+MARK_KINDS = ("lost", "shed", "degraded")
+
+#: refuse WindowedMetrics instances whose histogram planes would exceed this
+#: many int64 cells per task (guards the streaming RSS ceiling)
+_MAX_CELLS_PER_TASK = 4_000_000
+
+
+class KahanSum:
+    """Neumaier-compensated running sum (order-stable, near-exact means)."""
+
+    __slots__ = ("total", "_comp")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._comp = 0.0
+
+    def add(self, value: float) -> None:
+        t = self.total + value
+        if abs(self.total) >= abs(value):
+            self._comp += (self.total - t) + value
+        else:
+            self._comp += (value - t) + self.total
+        self.total = t
+
+    @property
+    def value(self) -> float:
+        return self.total + self._comp
+
+
+class LatencyHistogram:
+    """Fixed-bin latency histogram with exact counts and running extremes.
+
+    Bins are ``[k·bin_s, (k+1)·bin_s)`` over ``[0, max_s)``; latencies at or
+    beyond ``max_s`` land in an overflow bucket whose exact maximum is
+    tracked, so the histogram never loses counts.  Quantiles are reported as
+    the upper edge of the bin holding the ceil-rank order statistic — exact
+    within one ``bin_s`` of that order statistic.
+    """
+
+    __slots__ = ("bin_s", "max_s", "counts", "overflow", "min_s", "max_seen_s")
+
+    def __init__(self, bin_s: float = 5e-4, max_s: float = 30.0) -> None:
+        if bin_s <= 0 or max_s <= bin_s:
+            raise SimulationError(f"invalid histogram bins: bin_s={bin_s} max_s={max_s}")
+        self.bin_s = bin_s
+        self.max_s = max_s
+        self.counts = np.zeros(int(np.ceil(max_s / bin_s)), dtype=np.int64)
+        self.overflow = 0
+        self.min_s = float("inf")
+        self.max_seen_s = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum()) + self.overflow
+
+    def observe(self, latencies: np.ndarray) -> None:
+        """Fold a chunk of latencies (seconds) into the histogram."""
+        if latencies.size == 0:
+            return
+        self.min_s = min(self.min_s, float(latencies.min()))
+        self.max_seen_s = max(self.max_seen_s, float(latencies.max()))
+        idx = (latencies / self.bin_s).astype(np.int64)
+        over = idx >= self.counts.size
+        self.overflow += int(np.count_nonzero(over))
+        inside = idx[~over]
+        if inside.size:
+            self.counts += np.bincount(inside, minlength=self.counts.size)
+
+    def quantile(self, q: float) -> float:
+        """Latency of the ceil-rank order statistic at percentile ``q``.
+
+        Returns the upper edge of that element's bin (exact running max for
+        the overflow region), so the error versus the exact order statistic
+        is at most ``bin_s``.
+        """
+        n = self.count
+        if n == 0:
+            return float("nan")
+        if not (0.0 <= q <= 100.0):
+            raise SimulationError(f"quantile {q} outside [0, 100]")
+        rank = int(np.ceil((n - 1) * q / 100.0))  # 0-based ceil rank
+        cum = np.cumsum(self.counts)
+        if rank >= int(cum[-1]):  # lands in the overflow bucket
+            return self.max_seen_s
+        b = int(np.searchsorted(cum, rank + 1, side="left"))
+        return (b + 1) * self.bin_s
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Exact accumulation of ``other`` (same binning) into ``self``."""
+        if self.bin_s != other.bin_s or self.max_s != other.max_s:
+            raise SimulationError(
+                "cannot merge histograms with different binning: "
+                f"({self.bin_s}, {self.max_s}) vs ({other.bin_s}, {other.max_s})"
+            )
+        self.counts += other.counts
+        self.overflow += other.overflow
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_seen_s = max(self.max_seen_s, other.max_seen_s)
+        return self
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Tumbling-window layout for :class:`WindowedMetrics`.
+
+    ``window_s`` is the tumbling-window width in simulated seconds; windows
+    tile ``[0, horizon)`` and completions draining past the horizon clamp
+    into the final window.  ``bin_s``/``max_s`` set the *per-window* latency
+    histogram resolution — deliberately coarser than the global streaming
+    histogram (default 5 ms bins up to 2 s → 400 bins) because every window
+    of every task carries its own row of bins.
+    """
+
+    window_s: float = 1.0
+    bin_s: float = 5e-3
+    max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigError(f"window_s must be > 0, got {self.window_s}")
+        if self.bin_s <= 0 or self.max_s <= self.bin_s:
+            raise ConfigError(
+                f"invalid window histogram bins: bin_s={self.bin_s} max_s={self.max_s}"
+            )
+
+    @property
+    def num_bins(self) -> int:
+        return int(np.ceil(self.max_s / self.bin_s))
+
+    def num_windows(self, horizon_s: float) -> int:
+        """Windows tiling ``[0, horizon)`` plus one clamp window for drain."""
+        if horizon_s <= 0:
+            raise ConfigError(f"horizon must be > 0, got {horizon_s}")
+        return int(math.ceil(horizon_s / self.window_s)) + 1
+
+
+class _TaskWindows:
+    """Per-task window arrays (one row of bins per window)."""
+
+    __slots__ = (
+        "counts", "met", "lost", "shed", "degraded",
+        "hist", "overflow", "lat_sum", "lat_comp", "lat_max",
+    )
+
+    def __init__(self, n_windows: int, n_bins: int) -> None:
+        self.counts = np.zeros(n_windows, dtype=np.int64)
+        self.met = np.zeros(n_windows, dtype=np.int64)
+        self.lost = np.zeros(n_windows, dtype=np.int64)
+        self.shed = np.zeros(n_windows, dtype=np.int64)
+        self.degraded = np.zeros(n_windows, dtype=np.int64)
+        self.hist = np.zeros((n_windows, n_bins), dtype=np.int64)
+        self.overflow = np.zeros(n_windows, dtype=np.int64)
+        self.lat_sum = np.zeros(n_windows, dtype=np.float64)
+        self.lat_comp = np.zeros(n_windows, dtype=np.float64)
+        self.lat_max = np.full(n_windows, float("-inf"), dtype=np.float64)
+
+
+class WindowedMetrics:
+    """Tumbling-window SLO aggregates with bounded, pre-allocated memory.
+
+    One instance covers one run: per task it keeps ``n_windows`` integer
+    counters (completions, deadline-met, fault marks), an
+    ``[n_windows, n_bins]`` int64 latency-histogram plane, and per-window
+    Kahan latency sums.  Updates come either one request at a time from the
+    event loop (:meth:`observe_one`) or as NumPy columns from the fast-path
+    sweeps (:meth:`observe`); both produce bit-identical integer state.
+
+    Accumulators from independent replications or traffic cells
+    :meth:`merge` exactly (integer adds, compensated float adds).
+    """
+
+    __slots__ = ("config", "horizon_s", "n_windows", "n_bins", "per_task")
+
+    def __init__(self, config: WindowConfig, horizon_s: float) -> None:
+        self.config = config
+        self.horizon_s = float(horizon_s)
+        self.n_windows = config.num_windows(horizon_s)
+        self.n_bins = config.num_bins
+        if self.n_windows * self.n_bins > _MAX_CELLS_PER_TASK:
+            raise ConfigError(
+                f"window layout needs {self.n_windows}x{self.n_bins} histogram "
+                f"cells per task (> {_MAX_CELLS_PER_TASK}); widen window_s or "
+                "coarsen bin_s to keep streaming memory bounded"
+            )
+        self.per_task: Dict[str, _TaskWindows] = {}
+
+    # -- accumulation ---------------------------------------------------------
+
+    def _ensure(self, task: str) -> _TaskWindows:
+        tw = self.per_task.get(task)
+        if tw is None:
+            tw = self.per_task[task] = _TaskWindows(self.n_windows, self.n_bins)
+        return tw
+
+    def _window_of(self, completion_s: float) -> int:
+        w = int(completion_s / self.config.window_s)
+        return w if w < self.n_windows else self.n_windows - 1
+
+    def observe_one(
+        self, task: str, completion_s: float, latency_s: float, met: bool
+    ) -> None:
+        """Fold one completed request (event-loop feed).
+
+        The window index uses the same double division + truncation as the
+        vectorized path, so the two stay bit-identical.
+        """
+        tw = self._ensure(task)
+        w = self._window_of(completion_s)
+        tw.counts[w] += 1
+        if met:
+            tw.met[w] += 1
+        b = int(latency_s / self.config.bin_s)
+        if b >= self.n_bins:
+            tw.overflow[w] += 1
+        else:
+            tw.hist[w, b] += 1
+        # Neumaier add into window w (scalar form of the chunked update)
+        s = float(tw.lat_sum[w])
+        t = s + latency_s
+        if abs(s) >= abs(latency_s):
+            tw.lat_comp[w] += (s - t) + latency_s
+        else:
+            tw.lat_comp[w] += (latency_s - t) + s
+        tw.lat_sum[w] = t
+        if latency_s > tw.lat_max[w]:
+            tw.lat_max[w] = latency_s
+
+    def observe(
+        self,
+        task: str,
+        completion_s: np.ndarray,
+        latency_s: np.ndarray,
+        met: np.ndarray,
+    ) -> None:
+        """Fold a (already warmup-filtered) chunk of completions of one task."""
+        if completion_s.size == 0:
+            return
+        tw = self._ensure(task)
+        nw, nb = self.n_windows, self.n_bins
+        w = (completion_s / self.config.window_s).astype(np.int64)
+        np.minimum(w, nw - 1, out=w)
+        tw.counts += np.bincount(w, minlength=nw)
+        wm = w[met]
+        if wm.size:
+            tw.met += np.bincount(wm, minlength=nw)
+        b = (latency_s / self.config.bin_s).astype(np.int64)
+        over = b >= nb
+        if over.any():
+            tw.overflow += np.bincount(w[over], minlength=nw)
+            inside = ~over
+            w_in, b_in, lat_in = w[inside], b[inside], latency_s[inside]
+        else:
+            w_in, b_in, lat_in = w, b, latency_s
+        if w_in.size:
+            flat = np.bincount(w_in * nb + b_in, minlength=nw * nb)
+            tw.hist += flat.reshape(nw, nb)
+        # per-window chunk partial sums, Kahan-folded into the running sums
+        part = np.bincount(w, weights=latency_s, minlength=nw)
+        touched = np.flatnonzero(part)
+        if touched.size:
+            s = tw.lat_sum[touched]
+            v = part[touched]
+            t = s + v
+            big = np.abs(s) >= np.abs(v)
+            tw.lat_comp[touched] += np.where(big, (s - t) + v, (v - t) + s)
+            tw.lat_sum[touched] = t
+        np.maximum.at(tw.lat_max, w, latency_s)
+
+    def mark(self, task: str, time_s: float, kind: str) -> None:
+        """Record a fault outcome (``lost``/``shed``/``degraded``) at ``time_s``.
+
+        Lost and shed requests never complete, so they enter the SLO error
+        budget through these marks instead of the miss counters; degraded
+        completions are counted both as completions (via ``observe_one``) and
+        annotated here.
+        """
+        if kind not in MARK_KINDS:
+            raise ConfigError(f"unknown window mark kind {kind!r}; want {MARK_KINDS}")
+        tw = self._ensure(task)
+        getattr(tw, kind)[self._window_of(time_s)] += 1
+
+    # -- merge / identity -----------------------------------------------------
+
+    def _check_layout(self, other: "WindowedMetrics") -> None:
+        if (
+            self.config != other.config
+            or self.horizon_s != other.horizon_s
+            or self.n_windows != other.n_windows
+        ):
+            raise SimulationError(
+                "cannot merge windowed metrics with different layouts: "
+                f"{self.config}/{self.horizon_s}s vs {other.config}/{other.horizon_s}s"
+            )
+
+    def merge(self, other: "WindowedMetrics") -> "WindowedMetrics":
+        """Exact accumulation of ``other`` (same layout) into ``self``."""
+        self._check_layout(other)
+        for task, o in other.per_task.items():
+            tw = self._ensure(task)
+            tw.counts += o.counts
+            tw.met += o.met
+            tw.lost += o.lost
+            tw.shed += o.shed
+            tw.degraded += o.degraded
+            tw.hist += o.hist
+            tw.overflow += o.overflow
+            v = o.lat_sum + o.lat_comp
+            s = tw.lat_sum.copy()
+            t = s + v
+            big = np.abs(s) >= np.abs(v)
+            tw.lat_comp += np.where(big, (s - t) + v, (v - t) + s)
+            tw.lat_sum = t
+            np.maximum(tw.lat_max, o.lat_max, out=tw.lat_max)
+        return self
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the order-independent state (ints + maxima).
+
+        Equal fingerprints ⇒ bit-identical windowed SLO inputs.  Kahan sums
+        are excluded (accumulation-order dependent at the ulp level).
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.config.window_s}:{self.config.bin_s}:{self.config.max_s}:"
+            f"{self.horizon_s}:{self.n_windows}".encode()
+        )
+        for task in sorted(self.per_task):
+            tw = self.per_task[task]
+            h.update(task.encode())
+            for arr in (tw.counts, tw.met, tw.lost, tw.shed, tw.degraded,
+                        tw.hist, tw.overflow, tw.lat_max):
+                h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
+
+    # -- aggregates -----------------------------------------------------------
+
+    def tasks(self) -> List[str]:
+        return sorted(self.per_task)
+
+    @property
+    def total_count(self) -> int:
+        return sum(int(tw.counts.sum()) for tw in self.per_task.values())
+
+    @property
+    def total_met(self) -> int:
+        return sum(int(tw.met.sum()) for tw in self.per_task.values())
+
+    def window_counts(self, task: str) -> np.ndarray:
+        return self.per_task[task].counts
+
+    def window_met(self, task: str) -> np.ndarray:
+        return self.per_task[task].met
+
+    def window_errors(self, task: str) -> np.ndarray:
+        """SLO errors per window: deadline misses + lost + shed requests."""
+        tw = self.per_task[task]
+        return (tw.counts - tw.met) + tw.lost + tw.shed
+
+    def window_eligible(self, task: str) -> np.ndarray:
+        """SLO denominator per window: completions + lost + shed requests."""
+        tw = self.per_task[task]
+        return tw.counts + tw.lost + tw.shed
+
+    def window_mean_latency_s(self, task: str) -> np.ndarray:
+        """Per-window mean latency (NaN where a window saw no completions)."""
+        tw = self.per_task[task]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                tw.counts > 0, (tw.lat_sum + tw.lat_comp) / tw.counts, np.nan
+            )
+
+    def window_quantile(self, task: str, q: float) -> np.ndarray:
+        """Per-window ceil-rank latency quantile from the histogram plane.
+
+        Upper bin edges (window maximum for overflow windows), NaN for empty
+        windows — same contract as :meth:`LatencyHistogram.quantile`.
+        """
+        if not (0.0 <= q <= 100.0):
+            raise SimulationError(f"quantile {q} outside [0, 100]")
+        tw = self.per_task[task]
+        out = np.full(self.n_windows, np.nan)
+        n = tw.hist.sum(axis=1) + tw.overflow
+        nonempty = np.flatnonzero(n)
+        if nonempty.size == 0:
+            return out
+        cum = np.cumsum(tw.hist[nonempty], axis=1)
+        rank = np.ceil((n[nonempty] - 1) * q / 100.0).astype(np.int64)
+        inside = rank < cum[:, -1]
+        rows = np.flatnonzero(inside)
+        for r in rows.tolist():
+            b = int(np.searchsorted(cum[r], rank[r] + 1, side="left"))
+            out[nonempty[r]] = (b + 1) * self.config.bin_s
+        out[nonempty[~inside]] = tw.lat_max[nonempty[~inside]]
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able state for the metrics stream / dashboard."""
+        tasks = {}
+        for task in self.tasks():
+            tw = self.per_task[task]
+            n = tw.counts
+            with np.errstate(invalid="ignore", divide="ignore"):
+                miss = np.where(n > 0, (n - tw.met) / n, np.nan)
+            tasks[task] = {
+                "counts": tw.counts.tolist(),
+                "met": tw.met.tolist(),
+                "lost": tw.lost.tolist(),
+                "shed": tw.shed.tolist(),
+                "degraded": tw.degraded.tolist(),
+                "miss_rate": [None if np.isnan(x) else float(x) for x in miss],
+                "p99_s": [
+                    None if np.isnan(x) else float(x)
+                    for x in self.window_quantile(task, 99)
+                ],
+            }
+        return {
+            "window_s": self.config.window_s,
+            "bin_s": self.config.bin_s,
+            "max_s": self.config.max_s,
+            "horizon_s": self.horizon_s,
+            "n_windows": self.n_windows,
+            "tasks": tasks,
+        }

@@ -9,6 +9,8 @@ from repro.core.candidates import build_candidates
 from repro.core.coordinator import ShardedResult, solve_sharded
 from repro.core.joint import JointOptimizer, JointSolverConfig
 from repro.errors import ConfigError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer, get_tracer, set_tracer
 from repro.workloads.scenarios import build_scenario
 
 
@@ -165,6 +167,104 @@ class TestMigration:
         assert (
             with_mig.plan.objective_value <= without.plan.objective_value + 1e-12
         )
+
+
+class TestTraceDeterminism:
+    """Serial and parallel fan-outs record the same merged span sequence."""
+
+    @staticmethod
+    def _traced_solve(medium_instance, workers):
+        cluster, tasks, cands = medium_instance
+        saved = get_tracer()
+        set_tracer(Tracer(enabled=True))
+        try:
+            solve_sharded(
+                tasks, cluster,
+                config=JointSolverConfig(
+                    shards=2, migration_rounds=3, restart_workers=workers
+                ),
+                candidates=cands, seed=7,
+            )
+            return get_tracer().drain()
+        finally:
+            set_tracer(saved)
+
+    def test_serial_parallel_span_sequences_identical(self, medium_instance):
+        serial = self._traced_solve(medium_instance, workers=1)
+        parallel = self._traced_solve(medium_instance, workers=4)
+
+        def shape(spans):
+            return [(s.name, s.span_id, s.parent_id, s.stream) for s in spans]
+
+        assert shape(parallel) == shape(serial)
+        # spans arrive merged by (stream, seq): shard solves occupy their
+        # deterministic stream blocks regardless of thread scheduling
+        ids = [s.span_id for s in serial]
+        assert ids == sorted(ids)
+        assert {s.stream for s in serial} > {0}  # shard streams present
+
+    def test_shard_streams_reparent_under_root(self, medium_instance):
+        spans = self._traced_solve(medium_instance, workers=4)
+        root = next(s for s in spans if s.name == "solve.sharded")
+        off_stream = [s for s in spans if s.stream != root.stream]
+        assert off_stream
+        tops = [s for s in off_stream if s.parent_id == root.span_id]
+        assert tops  # each shard's top-level solve hangs off the root span
+
+
+class TestPublishHealth:
+    @pytest.fixture(scope="class")
+    def result(self, medium_instance):
+        cluster, tasks, cands = medium_instance
+        return solve_sharded(
+            tasks, cluster,
+            config=JointSolverConfig(shards=2, migration_rounds=3),
+            candidates=cands, seed=7,
+        )
+
+    def test_gauges_cover_every_shard(self, medium_instance, result):
+        _, tasks, _ = medium_instance
+        reg = MetricsRegistry()
+        result.publish_health(reg, tasks=tasks)
+        homed_total = 0
+        for s in range(2):
+            for f in ("tasks", "objective", "solve_s", "iterations",
+                      "migrations_in", "utilization", "violation_rate"):
+                assert f"shard.{s}.{f}" in reg, f"missing shard.{s}.{f}"
+            homed_total += int(reg.gauge(f"shard.{s}.tasks").value)
+            assert 0.0 <= reg.gauge(f"shard.{s}.violation_rate").value <= 1.0
+        assert homed_total == len(tasks)
+        assert reg.counter("shard.migration.accepted").value == sum(
+            result.migration_history
+        )
+        assert reg.gauge("shard.migration.rounds").value == len(
+            result.migration_history
+        )
+
+    def test_migrations_in_reflects_rehoming(self, result):
+        # post-migration homing minus the shard's solve-time task count
+        reg = MetricsRegistry()
+        result.publish_health(reg)
+        for st in result.shard_stats:
+            moved = reg.gauge(f"shard.{st.shard}.migrations_in").value
+            assert moved == reg.gauge(f"shard.{st.shard}.tasks").value - st.num_tasks
+
+    def test_without_tasks_skips_derived_gauges(self, result):
+        reg = MetricsRegistry()
+        result.publish_health(reg)
+        assert "shard.0.tasks" in reg
+        assert "shard.0.utilization" not in reg
+        assert "shard.0.violation_rate" not in reg
+
+    def test_requires_shard_plan(self, result):
+        bare = dataclasses.replace(result, shard_plan=None)
+        with pytest.raises(ConfigError, match="no shard plan"):
+            bare.publish_health(MetricsRegistry())
+
+    def test_rejects_foreign_task_list(self, medium_instance, result):
+        _, tasks, _ = medium_instance
+        with pytest.raises(ConfigError, match="sequence solve_sharded ran over"):
+            result.publish_health(MetricsRegistry(), tasks=tasks[:-1])
 
 
 class TestValidation:

@@ -8,7 +8,10 @@ from repro.core.online import (
     EnvironmentSample,
     OnlineController,
 )
+from repro.core.sharding import ShardPlan
 from repro.errors import ConfigError
+from repro.telemetry.drift import DriftConfig
+from repro.telemetry.metrics import MetricsRegistry
 from repro.units import mbps
 
 
@@ -132,3 +135,87 @@ class TestController:
     def test_empty_tasks_rejected(self, small_cluster):
         with pytest.raises(ConfigError):
             OnlineController(small_cluster, [])
+
+
+#: deterministic calibration keeps these fast; window=6 has enough power
+DRIFT = DriftConfig(window=6, calibration="zscore", threshold=4.0)
+
+
+class TestDriftWiring:
+    def test_service_time_validation(self, controller):
+        with pytest.raises(ConfigError, match="non-positive service time"):
+            EnvironmentSample(time_s=1.0, service_times_s={"t0": 0.0})
+        with pytest.raises(ConfigError, match="unknown task"):
+            controller.observe(
+                EnvironmentSample(time_s=1.0, service_times_s={"ghost": 0.1})
+            )
+
+    def test_drift_off_by_default(self, controller, small_cluster):
+        assert controller.drift_monitor is None
+        controller.observe(
+            EnvironmentSample(time_s=1.0, service_times_s={"t0": 0.05})
+        )
+        assert controller.drifted_shards == ()
+
+    def test_shard_plan_must_home_controller_tasks(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        with pytest.raises(ConfigError, match="different task set"):
+            OnlineController(
+                small_cluster, small_tasks, candidates=small_candidates,
+                drift=DRIFT,
+                shard_plan=ShardPlan(server_shards=((0,), (1,)), task_shard=(0,)),
+            )
+
+    def test_flags_only_perturbed_shard(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        # t0 homed on shard 0, t1 on shard 1; only t1's service time jumps.
+        # Service times bypass the re-plan trigger, so no solves fire while
+        # the statistical monitor accumulates its windows.
+        registry = MetricsRegistry()
+        c = OnlineController(
+            small_cluster, small_tasks, candidates=small_candidates,
+            drift=DRIFT,
+            shard_plan=ShardPlan(server_shards=((0,), (1,)), task_shard=(0, 1)),
+            registry=registry,
+        )
+        stable = [0.020, 0.0202, 0.0198, 0.0201, 0.0199, 0.020]
+        for i, v in enumerate(stable * 2):
+            c.observe(EnvironmentSample(
+                time_s=float(i), service_times_s={"t0": v, "t1": v},
+            ))
+        assert c.drifted_shards == ()
+        for i, v in enumerate([0.050, 0.0498, 0.0502, 0.0501, 0.0499, 0.050]):
+            c.observe(EnvironmentSample(
+                time_s=12.0 + i, service_times_s={"t0": 0.020, "t1": v},
+            ))
+            if c.drifted_shards:
+                break
+        assert c.drifted_shards == (1,)
+        assert registry.gauge("shard.0.drifted").value == 0.0
+        assert registry.gauge("shard.1.drifted").value == 1.0
+        # after a targeted re-solve the operator resets the shard's streams
+        c.drift_monitor.reset_shard(1)
+        assert c.drifted_shards == ()
+
+    def test_without_shard_plan_everything_is_shard_zero(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        registry = MetricsRegistry()
+        c = OnlineController(
+            small_cluster, small_tasks, candidates=small_candidates,
+            drift=DRIFT, registry=registry,
+        )
+        for i in range(12):
+            c.observe(EnvironmentSample(
+                time_s=float(i), service_times_s={"t0": 0.02},
+            ))
+        for i in range(6):
+            c.observe(EnvironmentSample(
+                time_s=12.0 + i, service_times_s={"t0": 0.08},
+            ))
+            if c.drifted_shards:
+                break
+        assert c.drifted_shards == (0,)
+        assert registry.gauge("shard.0.drifted").value == 1.0

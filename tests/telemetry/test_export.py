@@ -1,0 +1,135 @@
+"""Exporters and dashboard: OpenMetrics shapes, JSONL round-trip, rendering."""
+
+import math
+
+import pytest
+
+from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.export import (
+    MetricsStreamWriter,
+    _metric_name,
+    export_openmetrics,
+    openmetrics_text,
+    read_metrics_stream,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("sim.requests").inc(42)
+    reg.gauge("sim.queue_depth.edge0").set(3.0)
+    reg.gauge("sim.queue_depth.edge0").set(7.0)
+    reg.histogram("sim.latency_ms", bounds=(1.0, 10.0)).observe(0.5)
+    reg.histogram("sim.latency_ms", bounds=(1.0, 10.0)).observe(5.0)
+    reg.histogram("sim.latency_ms", bounds=(1.0, 10.0)).observe(50.0)
+    return reg
+
+
+class TestOpenMetrics:
+    def test_document_shape(self):
+        text = openmetrics_text(_registry())
+        lines = text.strip().splitlines()
+        assert lines[-1] == "# EOF"
+        assert "# TYPE repro_sim_requests counter" in lines
+        assert "repro_sim_requests_total 42.0" in lines
+        # gauge carries value plus min/max companions
+        assert "repro_sim_queue_depth_edge0 7.0" in lines
+        assert "repro_sim_queue_depth_edge0_min 3.0" in lines
+        assert "repro_sim_queue_depth_edge0_max 7.0" in lines
+        # histogram buckets are cumulative and end with +Inf == _count
+        assert 'repro_sim_latency_ms_bucket{le="1.0"} 1' in lines
+        assert 'repro_sim_latency_ms_bucket{le="10.0"} 2' in lines
+        assert 'repro_sim_latency_ms_bucket{le="+Inf"} 3' in lines
+        assert "repro_sim_latency_ms_count 3" in lines
+
+    def test_unset_gauge_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("sim.idle")  # declared, never set
+        assert "sim_idle" not in openmetrics_text(reg)
+
+    def test_name_sanitization(self):
+        assert _metric_name("shard.0.solve_s", "repro") == "repro_shard_0_solve_s"
+        assert _metric_name("weird-name!", "") == "weird_name_"
+        # a leading digit without prefix must not produce an invalid name
+        assert _metric_name("0bad", "")[0] not in "0123456789"
+
+    def test_export_to_file(self, tmp_path):
+        path = tmp_path / "om.txt"
+        export_openmetrics(_registry(), str(path))
+        assert path.read_text().rstrip().endswith("# EOF")
+
+
+class TestMetricsStream:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        with MetricsStreamWriter(path) as w:
+            w.registry_snapshot(1.0, _registry())
+            w.windowed_snapshot(2.0, {"window_s": 1.0, "tasks": {}})
+            w.slo_report(3.0, {"ok": True, "tasks": {}})
+        events = read_metrics_stream(path)
+        assert [e["kind"] for e in events] == ["registry", "windows", "slo"]
+        assert [e["t_s"] for e in events] == [1.0, 2.0, 3.0]
+        assert events[0]["metrics"]["sim.requests"]["value"] == 42
+        assert events[2]["slo"]["ok"] is True
+
+    def test_write_after_close_raises(self, tmp_path):
+        w = MetricsStreamWriter(str(tmp_path / "m.jsonl"))
+        w.close()
+        with pytest.raises(ValueError, match="already closed"):
+            w.write("registry", 0.0, {})
+        w.close()  # idempotent
+
+
+class TestSparkline:
+    def test_scale_and_missing(self):
+        s = sparkline([0.0, None, 1.0])
+        assert len(s) == 3
+        assert s[1] == "·"
+        assert s[2] == "█"  # the max maps to the top block
+
+    def test_tail_truncation(self):
+        assert len(sparkline([1.0] * 100, width=10)) == 10
+
+    def test_all_zero(self):
+        assert set(sparkline([0.0, 0.0])) == {"▁"}
+
+
+class TestDashboard:
+    def test_sections_render(self):
+        reg = MetricsRegistry()
+        for s in (0, 1):
+            reg.gauge(f"shard.{s}.tasks").set(12.0)
+            reg.gauge(f"shard.{s}.violation_rate").set(0.25 * s)
+            reg.gauge(f"shard.{s}.drifted").set(float(s))
+        reg.gauge("sim.queue_depth.edge0").set(4.0)
+        windows = {
+            "window_s": 1.0,
+            "tasks": {"t0": {"counts": [5, 5], "miss_rate": [0.0, None]}},
+        }
+        slo = {
+            "ok": False,
+            "tasks": {
+                "t0": {
+                    "target": 0.99,
+                    "achieved": 0.95,
+                    "budget_spent": 5.0,
+                    "status": "PAGE",
+                    "alerts": [{"window": 1}],
+                }
+            },
+        }
+        frame = render_dashboard(
+            5.0, windows=windows, slo=slo, registry=reg.snapshot()
+        )
+        assert "SLO: VIOLATED" in frame
+        assert "PAGE" in frame
+        assert "per-shard health:" in frame
+        assert "miss-rate per 1s window" in frame
+        assert "queue depth" in frame
+        assert "t=5.0s" in frame
+
+    def test_empty_frame(self):
+        frame = render_dashboard(0.0)
+        assert "repro monitor" in frame
+        assert not math.isnan(0.0) and "shard" not in frame

@@ -1,0 +1,189 @@
+"""Windowed SLO aggregation: layout, scalar ≡ vectorized feeds, exact merge.
+
+Contracts under test (see DESIGN.md §9):
+
+- the scalar event-loop feed (``observe_one``) and the vectorized fast-path
+  feed (``observe``) produce **bit-identical** integer state for the same
+  observations, in any order — the basis of the obs gate's fingerprint check;
+- accumulators merge exactly (integer adds, compensated float adds) and
+  refuse mismatched layouts;
+- memory is bounded up front: a layout wider than the per-task cell guard is
+  rejected at construction, not discovered at request 900k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.telemetry.windows import (
+    MARK_KINDS,
+    KahanSum,
+    WindowConfig,
+    WindowedMetrics,
+)
+
+
+def _filled(seed: int, n: int = 500, horizon: float = 10.0) -> WindowedMetrics:
+    """A WindowedMetrics filled from a seeded synthetic workload."""
+    rng = np.random.default_rng(seed)
+    wm = WindowedMetrics(WindowConfig(window_s=1.0), horizon)
+    comp = np.sort(rng.uniform(0.0, horizon + 2.0, n))  # some drain past horizon
+    lat = rng.exponential(0.05, n)
+    met = lat <= 0.08
+    wm.observe("t0", comp, lat, met)
+    wm.observe("t1", comp[: n // 2], lat[: n // 2] * 3.0, met[: n // 2])
+    return wm
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window_s=0.0),
+            dict(window_s=-1.0),
+            dict(bin_s=0.0),
+            dict(bin_s=0.5, max_s=0.5),  # max_s must exceed bin_s
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            WindowConfig(**kwargs)
+
+    def test_layout(self):
+        cfg = WindowConfig(window_s=1.0, bin_s=5e-3, max_s=2.0)
+        assert cfg.num_bins == 400
+        # 10 tiling windows + 1 clamp window for drain past the horizon
+        assert cfg.num_windows(10.0) == 11
+        assert cfg.num_windows(9.5) == 11  # ceil
+        with pytest.raises(ConfigError):
+            cfg.num_windows(0.0)
+
+    def test_cell_guard_rejects_unbounded_layouts(self):
+        with pytest.raises(ConfigError, match="histogram cells per task"):
+            WindowedMetrics(WindowConfig(window_s=1e-3, bin_s=1e-4, max_s=2.0), 100.0)
+
+
+class TestFeedsIdentity:
+    def test_scalar_equals_vectorized(self):
+        rng = np.random.default_rng(7)
+        n = 400
+        comp = np.sort(rng.uniform(0.0, 12.0, n))
+        lat = rng.exponential(0.05, n)
+        met = lat <= 0.07
+        cfg = WindowConfig(window_s=0.5)
+        vec = WindowedMetrics(cfg, 10.0)
+        vec.observe("t", comp, lat, met)
+        one = WindowedMetrics(cfg, 10.0)
+        for c, l, m in zip(comp, lat, met):
+            one.observe_one("t", float(c), float(l), bool(m))
+        assert one.fingerprint() == vec.fingerprint()
+        np.testing.assert_array_equal(one.per_task["t"].counts, vec.per_task["t"].counts)
+        np.testing.assert_array_equal(one.per_task["t"].hist, vec.per_task["t"].hist)
+        # Kahan sums agree to float tolerance (excluded from the fingerprint)
+        np.testing.assert_allclose(
+            one.window_mean_latency_s("t"), vec.window_mean_latency_s("t"),
+            rtol=1e-12, equal_nan=True,
+        )
+
+    def test_order_independent_integer_state(self):
+        rng = np.random.default_rng(3)
+        n = 300
+        comp = rng.uniform(0.0, 8.0, n)
+        lat = rng.exponential(0.04, n)
+        met = lat <= 0.05
+        cfg = WindowConfig()
+        a = WindowedMetrics(cfg, 8.0)
+        a.observe("t", comp, lat, met)
+        perm = rng.permutation(n)
+        b = WindowedMetrics(cfg, 8.0)
+        b.observe("t", comp[perm], lat[perm], met[perm])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_chunked_equals_one_shot(self):
+        rng = np.random.default_rng(5)
+        n = 256
+        comp = np.sort(rng.uniform(0.0, 6.0, n))
+        lat = rng.exponential(0.03, n)
+        met = lat <= 0.05
+        cfg = WindowConfig(window_s=0.25)
+        whole = WindowedMetrics(cfg, 6.0)
+        whole.observe("t", comp, lat, met)
+        chunked = WindowedMetrics(cfg, 6.0)
+        for lo in range(0, n, 37):
+            sl = slice(lo, lo + 37)
+            chunked.observe("t", comp[sl], lat[sl], met[sl])
+        assert whole.fingerprint() == chunked.fingerprint()
+
+    def test_drain_past_horizon_clamps_to_last_window(self):
+        wm = WindowedMetrics(WindowConfig(window_s=1.0), 4.0)
+        wm.observe_one("t", 99.0, 0.01, True)  # far past the horizon
+        assert wm.per_task["t"].counts[-1] == 1
+        assert wm.per_task["t"].counts[:-1].sum() == 0
+
+
+class TestMarksAndAggregates:
+    def test_marks_feed_error_budget(self):
+        wm = WindowedMetrics(WindowConfig(window_s=1.0), 4.0)
+        wm.observe_one("t", 0.5, 0.01, True)
+        wm.mark("t", 0.6, "lost")
+        wm.mark("t", 0.7, "shed")
+        wm.mark("t", 0.8, "degraded")
+        assert wm.window_errors("t")[0] == 2  # lost + shed; degraded annotates
+        assert wm.window_eligible("t")[0] == 3  # completion + lost + shed
+        with pytest.raises(ConfigError, match="mark kind"):
+            wm.mark("t", 0.0, "exploded")
+        assert set(MARK_KINDS) == {"lost", "shed", "degraded"}
+
+    def test_quantiles_and_snapshot(self):
+        wm = _filled(0)
+        p99 = wm.window_quantile("t0", 99)
+        counts = wm.window_counts("t0")
+        assert np.isnan(p99[counts == 0]).all()
+        assert (p99[counts > 0] > 0).all()
+        with pytest.raises(SimulationError):
+            wm.window_quantile("t0", 101)
+        snap = wm.snapshot()
+        assert snap["n_windows"] == wm.n_windows
+        t0 = snap["tasks"]["t0"]
+        assert len(t0["counts"]) == wm.n_windows
+        assert sum(t0["counts"]) == int(counts.sum())
+        # snapshot is JSON-able (None for NaN, plain lists)
+        import json
+
+        json.dumps(snap)
+
+
+class TestMerge:
+    def test_merge_is_exact(self):
+        a, b = _filled(1), _filled(2)
+        pooled = WindowedMetrics(a.config, a.horizon_s).merge(a).merge(b)
+        for task in ("t0", "t1"):
+            np.testing.assert_array_equal(
+                pooled.per_task[task].counts,
+                a.per_task[task].counts + b.per_task[task].counts,
+            )
+            np.testing.assert_array_equal(
+                pooled.per_task[task].hist,
+                a.per_task[task].hist + b.per_task[task].hist,
+            )
+        assert pooled.total_count == a.total_count + b.total_count
+        assert pooled.total_met == a.total_met + b.total_met
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = WindowedMetrics(WindowConfig(window_s=1.0), 10.0)
+        with pytest.raises(SimulationError, match="different layouts"):
+            a.merge(WindowedMetrics(WindowConfig(window_s=0.5), 10.0))
+        with pytest.raises(SimulationError, match="different layouts"):
+            a.merge(WindowedMetrics(WindowConfig(window_s=1.0), 20.0))
+
+
+class TestKahan:
+    def test_compensated_sum_beats_naive(self):
+        ks = KahanSum()
+        vals = [1e16, 1.0, -1e16, 1.0]
+        naive = 0.0
+        for v in vals:
+            ks.add(v)
+            naive += v
+        assert ks.value == 2.0
+        assert naive != 2.0  # the case compensation exists for
