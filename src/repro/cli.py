@@ -80,6 +80,8 @@ def _solve(args: argparse.Namespace):
         shards=getattr(args, "shards", 1),
         shard_by=getattr(args, "shard_by", "contiguous"),
         migration_rounds=getattr(args, "migration_rounds", 3),
+        affinity=getattr(args, "affinity", "sparse"),
+        nested_shards=getattr(args, "nested_shards", 0),
     )
     result = JointOptimizer(cluster, objective=objective, config=config).solve(
         tasks, seed=args.seed
@@ -114,6 +116,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"migrations/round: {result.migration_history or [0]} "
             f"({result.perf.migrations} total over "
             f"{result.perf.migration_rounds} rounds)"
+        )
+    if getattr(args, "profile", False):
+        import dataclasses as _dc
+
+        print()
+        print(
+            format_table(
+                ["counter", "value"],
+                [
+                    (f.name, getattr(result.perf, f.name))
+                    for f in _dc.fields(result.perf)
+                ],
+                title="solver perf counters",
+                float_fmt="{:.4f}",
+            )
         )
     if args.output:
         from repro.io import save_joint_plan
@@ -513,8 +530,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--migration-rounds", type=int, default=3,
             help="cross-shard migration rounds after the shard solves",
         )
+        p.add_argument(
+            "--affinity", choices=["sparse", "dense"], default="sparse",
+            help="cross-shard affinity index: sparse top-k shortlists "
+            "(default) or the dense reference index (bit-identical plans)",
+        )
+        p.add_argument(
+            "--nested-shards", type=int, default=0,
+            help="two-level sharding: re-partition each shard (region) into "
+            "up to N racks solved by a nested coordinator (0 = flat)",
+        )
         if name == "solve":
             p.add_argument("--output", help="write the plan as JSON")
+            p.add_argument(
+                "--profile", action="store_true",
+                help="print the solver PerfCounters table (candidate/latency "
+                "evals, cache hits, index-build and re-solve timers)",
+            )
             p.set_defaults(fn=_cmd_solve)
             continue
         p.add_argument("--horizon", type=float, default=30.0, help="sim seconds")

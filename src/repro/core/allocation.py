@@ -307,6 +307,7 @@ class IncrementalAllocator:
         assignment: Sequence[Optional[int]],
         changed: Sequence[int],
         counters: Optional["PerfCounters"] = None,
+        members_by_server: Optional[Dict[Optional[int], List[int]]] = None,
     ) -> Allocation:
         """Shares for ``(plan_idx, assignment)``, reusing a solved ``base``.
 
@@ -316,6 +317,13 @@ class IncrementalAllocator:
         task (in either the old or the new state) are re-solved; every other
         share is carried over.  The result is bit-identical to a full
         :meth:`solve` of the new state.
+
+        ``members_by_server`` may supply the server→tasks inverse of
+        ``assignment`` (each list ascending, exactly the order an index scan
+        would produce) so touched groups resolve without the O(tasks) member
+        scans — the cross-shard migration loop at 100k tasks maintains this
+        inverse incrementally.  Shares are bit-identical either way because
+        member order (hence float summation order) is unchanged.
         """
         compute = base.compute_shares.copy()
         bandwidth = base.bandwidth_shares.copy()
@@ -329,15 +337,25 @@ class IncrementalAllocator:
                     servers.add(s)
                     links.add((self._dev_name[i], s))
         for s in sorted(servers):
-            members = [i for i, a in enumerate(assignment) if a == s]
+            if members_by_server is not None:
+                members = members_by_server.get(s, [])
+            else:
+                members = [i for i, a in enumerate(assignment) if a == s]
             if members:
                 self._solve_server(s, members, plan_idx, compute)
         for dev_name, s in sorted(links):
-            members = [
-                i
-                for i, a in enumerate(assignment)
-                if a == s and self._dev_name[i] == dev_name
-            ]
+            if members_by_server is not None:
+                members = [
+                    i
+                    for i in members_by_server.get(s, [])
+                    if self._dev_name[i] == dev_name
+                ]
+            else:
+                members = [
+                    i
+                    for i, a in enumerate(assignment)
+                    if a == s and self._dev_name[i] == dev_name
+                ]
             if members:
                 self._solve_link(dev_name, s, members, plan_idx, bandwidth)
         if counters is not None:

@@ -94,6 +94,30 @@ class CandidateSet:
             setattr(obj, name, getattr(self, name)[idx])
         return obj
 
+    def position_of(self, feats: PlanFeatures) -> Optional[int]:
+        """Index of ``feats`` in this set, or ``None`` if absent.
+
+        Identity is resolved through a lazily built id→index map (tasks of
+        one template share a features list, so the map is built once per
+        list, not once per lookup), then equality as a fallback — the same
+        identity-then-equality semantics as a linear ``is`` scan followed by
+        ``list.index``, at amortized O(1) instead of O(candidates).
+        """
+        cached = self.__dict__.get("_pos_by_id")
+        if cached is None or cached[0] != len(self.features):
+            pos: Dict[int, int] = {}
+            for j, f in enumerate(self.features):
+                pos.setdefault(id(f), j)
+            cached = (len(self.features), pos)
+            self.__dict__["_pos_by_id"] = cached
+        j = cached[1].get(id(feats))
+        if j is not None:
+            return j
+        try:
+            return self.features.index(feats)
+        except ValueError:
+            return None
+
     def _with_task(self, task: TaskSpec) -> "CandidateSet":
         """Rebind a cached set to another task, sharing features and arrays.
 

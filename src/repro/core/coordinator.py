@@ -39,6 +39,7 @@ coordinator's stream 0.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left, insort
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -217,16 +218,20 @@ def solve_sharded(
             candsets = list(candidates)
 
         with tracer.span("solve.shard_plan"):
-            # one affinity index serves both the homing scores and the
-            # migration screens (1-shard solves never need it)
+            # one affinity index serves the homing scores, every migration
+            # screen, and (via its per-partition caches) any later
+            # incremental re-solve (1-shard solves never need it)
+            t_idx = time.perf_counter()
             affinity = (
-                AffinityIndex(tasks, candsets, cluster, lm)
+                AffinityIndex(tasks, candsets, cluster, lm, mode=cfg.affinity)
                 if cfg.shards > 1
                 else None
             )
             shard_plan = make_shard_plan(
                 tasks, candsets, cluster, cfg.shards, cfg.shard_by, lm, affinity
             )
+            if affinity is not None:
+                perf.index_build_s += time.perf_counter() - t_idx
         k = shard_plan.num_shards
 
         # shard seeds, all derived upfront in shard order so the outcome is
@@ -243,22 +248,35 @@ def solve_sharded(
         inner_cfg = replace(
             cfg,
             shards=1,
+            nested_shards=0,  # recursion is one level deep: racks never re-shard
             restart_workers=1 if workers > 1 else cfg.restart_workers,
         )
 
         views = [ShardView(cluster, ids) for ids in shard_plan.server_shards]
-        shard_tasks = [shard_plan.tasks_of(s) for s in range(k)]
+        if cfg.affinity == "sparse":
+            # one pass over the homing instead of k scans of it
+            shard_tasks: List[List[int]] = shard_plan.tasks_by_shard()
+        else:
+            shard_tasks = [shard_plan.tasks_of(s) for s in range(k)]
         stride = cfg.restarts + 1
 
         def _run(s: int) -> Optional[JointResult]:
             ids = shard_tasks[s]
             if not ids:
                 return None
+            cfg_s = inner_cfg
+            if cfg.nested_shards > 1 and views[s].num_servers > 1:
+                # two-level sharding: this region's solve re-shards its view
+                # into racks and runs the same coordinator one level down
+                cfg_s = replace(
+                    inner_cfg,
+                    shards=min(cfg.nested_shards, views[s].num_servers),
+                )
             solver = JointOptimizer(
                 views[s],
                 latency_model=lm,
                 objective=objective,
-                config=inner_cfg,
+                config=cfg_s,
                 stream_base=1 + s * stride,
             )
             with tracer.stream(1 + s * stride, parent=root.span_id):
@@ -323,8 +341,10 @@ def solve_sharded(
                 migration_history=[],
             )
 
+        sparse = cfg.affinity == "sparse"
         with tracer.span("solve.assemble"):
-            (candsets, plan_idx, assignment) = _assemble(
+            assemble = _assemble_fast if sparse else _assemble
+            (candsets, plan_idx, assignment) = assemble(
                 tasks, candsets, shard_results, shard_tasks, views
             )
             inc = IncrementalAllocator(tasks, candsets, cluster, lm, objective)
@@ -337,16 +357,26 @@ def solve_sharded(
         history = [obj]
         migration_history: List[int] = []
         # the screen's (template, home-shard) → best-foreign-server table is
-        # static across rounds (bounds ignore the evolving allocation)
+        # built once per solve (the index caches it per partition) and stays
+        # valid across every round: accepted migrations re-home tasks — an
+        # O(1) patch of task_shard — but never move servers between shards,
+        # and the bounds ignore the evolving allocation
         foreign_val, foreign_srv = affinity.foreign_mins(shard_plan.server_shards)
+        fast_state = (
+            _FastMigrationState(tasks, objective, affinity, alloc.assignment)
+            if sparse and cfg.migration_rounds > 0
+            else None
+        )
         for rnd in range(cfg.migration_rounds):
             with tracer.span(
                 "solve.migrate", {"round": rnd} if tracer.enabled else None
             ):
-                accepted, obj, base_lat, plan_idx, alloc = _migration_round(
+                round_fn = _migration_round_fast if sparse else _migration_round
+                accepted, obj, base_lat, plan_idx, alloc = round_fn(
                     tasks, candsets, plan_idx, alloc, base_lat,
                     obj, cluster, lm, objective, cfg, shard_plan, task_shard,
                     inc, affinity, foreign_val, foreign_srv, perf,
+                    fast_state,
                 )
             migration_history.append(accepted)
             perf.migration_rounds += 1
@@ -422,6 +452,77 @@ def _assemble(
     return out_sets, plan_idx, assignment
 
 
+class _PositionResolver:
+    """Amortized feature-position lookup across rebound candidate sets.
+
+    The candidate pipeline rebinds one cached set per template to every
+    task, so thousands of :class:`CandidateSet` objects share a handful of
+    ``features`` *list* objects.  Indexing each distinct list once (keyed by
+    list identity) makes a full-plan stitch O(tasks + templates ×
+    candidates) instead of O(tasks × candidates).  Resolution order matches
+    the dense stitch exactly: first identity match, else first equality
+    match, else None (caller appends the refined feature row).
+    """
+
+    def __init__(self) -> None:
+        self._maps: Dict[int, Dict[int, int]] = {}
+
+    def resolve(self, cs: CandidateSet, feats) -> Optional[int]:
+        key = id(cs.features)
+        pmap = self._maps.get(key)
+        if pmap is None:
+            pmap = {}
+            for j, f in enumerate(cs.features):
+                pmap.setdefault(id(f), j)
+            self._maps[key] = pmap
+        j = pmap.get(id(feats))
+        if j is not None:
+            return j
+        try:
+            return cs.features.index(feats)
+        except ValueError:
+            return None
+
+
+def _assemble_fast(
+    tasks: Sequence[TaskSpec],
+    candsets: List[CandidateSet],
+    shard_results: Sequence[Optional[JointResult]],
+    shard_tasks: Sequence[Sequence[int]],
+    views: Sequence[ShardView],
+) -> Tuple[List[CandidateSet], List[int], List[Optional[int]]]:
+    """O(tasks) stitch — same outputs as :func:`_assemble`.
+
+    Replaces the per-task identity scan + ``list.index`` of the dense stitch
+    (O(tasks × candidates), the coordinator's second-largest cost at 16k+
+    tasks) with a :class:`_PositionResolver` shared across every task of a
+    template.  Identity-then-equality resolution order is preserved, so the
+    chosen indices — and any appended refinement features — are identical.
+    """
+    out_sets = list(candsets)
+    plan_idx: List[int] = [0] * len(tasks)
+    assignment: List[Optional[int]] = [None] * len(tasks)
+    positions = _PositionResolver()
+    for s, res in enumerate(shard_results):
+        if res is None:
+            continue
+        server_ids = views[s].server_ids
+        plan_assignment = res.plan.assignment
+        plan_features = res.plan.features
+        for i in shard_tasks[s]:
+            name = tasks[i].name
+            local = plan_assignment[name]
+            assignment[i] = None if local is None else server_ids[local]
+            feats = plan_features[name]
+            j = positions.resolve(out_sets[i], feats)
+            if j is None:
+                cs = out_sets[i]
+                out_sets[i] = CandidateSet(cs.task, list(cs.features) + [feats])
+                j = len(cs.features)
+            plan_idx[i] = j
+    return out_sets, plan_idx, assignment
+
+
 def _global_objective(
     tasks: Sequence[TaskSpec],
     candsets: Sequence[CandidateSet],
@@ -459,6 +560,7 @@ def _migration_round(
     foreign_val: np.ndarray,
     foreign_srv: np.ndarray,
     counters: PerfCounters,
+    fast_state: Optional["_FastMigrationState"] = None,  # dense path ignores it
 ) -> Tuple[int, float, np.ndarray, List[int], Allocation]:
     """One round of cross-shard migration moves.
 
@@ -564,3 +666,395 @@ def _migration_round(
             task_shard[i] = shard_of_server[target]
             accepted += 1
     return accepted, obj, base_lat, plan_idx, alloc
+
+
+class _FastMigrationState:
+    """Per-solve accelerators for the sparse migration rounds.
+
+    Three things the dense round recomputes O(tasks)-wise per trial, hoisted
+    or maintained incrementally instead — all bit-identical:
+
+    - the objective's per-task arrays (weights / deadlines), built once; the
+      weight sum is the sum of the same array the dense path rebuilds, so
+      every evaluated objective is the same float;
+    - the server → member-tasks inverse of the assignment (ascending lists,
+      exactly what an index scan yields), moved under each trial and moved
+      back on rejection;
+    - the task → template array for the vectorized screen.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskSpec],
+        objective: Objective,
+        affinity: AffinityIndex,
+        assignment: Sequence[Optional[int]],
+    ) -> None:
+        self.objective = objective
+        self.tpl = np.asarray(affinity.template_of, dtype=np.int64)
+        self.w: Optional[np.ndarray] = None
+        self.w_sum = 0.0
+        self.deadlines: Optional[np.ndarray] = None
+        if objective is Objective.AVG_LATENCY:
+            self.w = np.array([t.weight for t in tasks])
+            self.w_sum = self.w.sum()
+        elif objective is Objective.DEADLINE_MISS:
+            self.deadlines = np.array([t.deadline_s for t in tasks])
+        self.members: Dict[Optional[int], List[int]] = {}
+        for i, a in enumerate(assignment):
+            self.members.setdefault(a, []).append(i)
+
+    def evaluate(self, lat: np.ndarray, tasks: Sequence[TaskSpec]) -> float:
+        """Same value as :meth:`Objective.evaluate`, without the per-call
+        Python array rebuilds."""
+        if np.any(np.isinf(lat)):
+            return float("inf")
+        if self.objective is Objective.AVG_LATENCY:
+            return float(np.dot(self.w, lat) / self.w_sum)
+        if self.objective is Objective.MAX_LATENCY:
+            return float(lat.max())
+        if self.objective is Objective.DEADLINE_MISS:
+            norm = lat / self.deadlines
+            miss = float(np.mean(norm > 1.0))
+            return miss + 1e-3 * float(np.mean(np.minimum(norm, 10.0)))
+        return self.objective.evaluate(lat, tasks)  # pragma: no cover
+
+    def move(self, i: int, src: Optional[int], dst: Optional[int]) -> None:
+        """Re-home task ``i``'s membership from server ``src`` to ``dst``."""
+        lst = self.members.get(src)
+        if lst is not None:
+            pos = bisect_left(lst, i)
+            if pos < len(lst) and lst[pos] == i:
+                lst.pop(pos)
+        insort(self.members.setdefault(dst, []), i)
+
+
+def _migration_round_fast(
+    tasks: Sequence[TaskSpec],
+    candsets: Sequence[CandidateSet],
+    plan_idx: List[int],
+    alloc: Allocation,
+    base_lat: np.ndarray,
+    obj: float,
+    cluster: EdgeCluster,
+    lm: LatencyModel,
+    objective: Objective,
+    cfg: JointSolverConfig,
+    shard_plan: ShardPlan,
+    task_shard: List[int],
+    inc: IncrementalAllocator,
+    affinity: AffinityIndex,
+    foreign_val: np.ndarray,
+    foreign_srv: np.ndarray,
+    counters: PerfCounters,
+    state: "_FastMigrationState",
+) -> Tuple[int, float, np.ndarray, List[int], Allocation]:
+    """Sparse-index migration round — decisions identical to
+    :func:`_migration_round`, without its O(tasks) Python loops.
+
+    The screen is one vectorized pass over the (template, home) foreign
+    table (ranking ties break by task index via a stable sort over an
+    ascending candidate list, matching the dense tuple sort).  Verification
+    prices the same moves with the same incremental kernels, but member
+    scans, affected sets, and objective arrays come from
+    :class:`_FastMigrationState` instead of per-trial O(tasks) rebuilds.
+    """
+    n = len(tasks)
+    hyst = cfg.migration_hysteresis
+
+    # -- screen (vectorized) -------------------------------------------------
+    home = np.asarray(task_shard, dtype=np.int64)
+    fv = foreign_val[state.tpl, home]
+    fs = foreign_srv[state.tpl, home]
+    margin = hyst * np.maximum(np.abs(base_lat), 1e-12)
+    idx = np.flatnonzero((fs >= 0) & (fv < base_lat - margin))
+    budget = max(8, n // 64)
+    if idx.size:
+        gains = fv[idx] - base_lat[idx]
+        take = idx[np.argsort(gains, kind="stable")[:budget]]
+    else:
+        take = idx
+    trials = [(int(i), int(fs[i])) for i in take]
+
+    # -- verify --------------------------------------------------------------
+    accepted = 0
+    assignment = list(alloc.assignment)
+    for i, target in trials:
+        current = assignment[i]
+        if current == target:
+            continue
+        trial_assign = list(assignment)
+        trial_assign[i] = target
+        state.move(i, current, target)
+        prov = inc.update(
+            alloc, plan_idx, trial_assign, (i,), counters,
+            members_by_server=state.members,
+        )
+        device = cluster.by_name(tasks[i].device_name)
+        server = cluster.servers[target]
+        link = cluster.link(tasks[i].device_name, server.name)
+        rate = tasks[i].arrival_rate if cfg.include_queueing else None
+        lat_vec = candsets[i].latencies(
+            device, lm, server=server, link=link,
+            compute_share=float(prov.compute_shares[i]),
+            bandwidth_share=float(prov.bandwidth_shares[i]),
+            arrival_rate=rate,
+        )
+        counters.candidate_evals += 1
+        j = int(np.argmin(lat_vec))
+        if not np.isfinite(lat_vec[j]):
+            state.move(i, target, current)
+            continue
+        trial_idx = list(plan_idx)
+        trial_idx[i] = j
+        if j == plan_idx[i]:
+            trial_alloc = prov
+        else:
+            trial_alloc = inc.update(
+                prov, trial_idx, trial_assign, (i,), counters,
+                members_by_server=state.members,
+            )
+        # the moved task is already in target's member list; the union with
+        # current's remainder plus {i} equals the dense O(tasks) scan's set
+        affected = set(state.members.get(current, ()))
+        affected.update(state.members.get(target, ()))
+        affected.add(i)
+        trial_lat = base_lat.copy()
+        for t_i in affected:
+            trial_lat[t_i] = solution_latency_task(
+                tasks[t_i],
+                candsets[t_i],
+                trial_idx[t_i],
+                trial_alloc.assignment[t_i],
+                float(trial_alloc.compute_shares[t_i]),
+                float(trial_alloc.bandwidth_shares[t_i]),
+                cluster,
+                lm,
+                include_queueing=cfg.include_queueing,
+                overload="penalty",
+            )
+        counters.latency_evals += len(affected)
+        trial_obj = state.evaluate(trial_lat, tasks)
+        if trial_obj < obj - hyst * max(abs(obj), 1e-12):
+            obj = trial_obj
+            plan_idx = trial_idx
+            alloc = trial_alloc
+            base_lat = trial_lat
+            assignment[i] = target
+            task_shard[i] = shard_plan.shard_of_server(target)
+            accepted += 1
+        else:
+            state.move(i, target, current)
+    return accepted, obj, base_lat, plan_idx, alloc
+
+
+def resolve_dirty(
+    tasks: Sequence[TaskSpec],
+    cluster: EdgeCluster,
+    prior: ShardedResult,
+    dirty_shards: Sequence[int],
+    latency_model: Optional[LatencyModel] = None,
+    objective: Objective = Objective.AVG_LATENCY,
+    config: Optional[JointSolverConfig] = None,
+    candidates: Optional[Sequence[CandidateSet]] = None,
+    seed: SeedLike = None,
+) -> ShardedResult:
+    """Incrementally re-solve only the *dirty* shards of a prior solve.
+
+    The online controller's drift monitor flags the shards whose traffic
+    moved (see :class:`~repro.telemetry.drift.ShardDriftMonitor`); this
+    re-plans exactly those, keeps every clean shard's plan **by identity**
+    from ``prior`` (same feature objects, same placements), re-solves the
+    global shares in closed form, and re-packages — an O(dirty) control
+    action instead of a full :func:`solve_sharded`.
+
+    Contracts:
+
+    - ``prior`` must come from a solve over the same ``tasks`` sequence
+      (same order) on this cluster; the server partition and task homing are
+      carried over unchanged.
+    - Dirty shard ``s`` re-solves with the same derived seed a full solve
+      would give it (``derive_seed(seed, "shard", s)``, base seed for shard
+      0), so a re-solve with every shard dirty reproduces the fan-out of a
+      fresh solve.
+    - Cross-shard migration is **not** re-run: a delta re-plan deliberately
+      leaves the homing alone.  When drift is global (every shard flagged,
+      or servers changed), escalate to a full ``solve_sharded`` — the online
+      controller does exactly that.
+
+    The wall time lands in ``perf.resolve_dirty_s`` (and ``solve_s``);
+    clean shards' :class:`ShardStats` are carried from ``prior``.
+    """
+    t_start = time.perf_counter()
+    cfg = config or JointSolverConfig()
+    lm = latency_model or LatencyModel()
+    if prior.shard_plan is None:
+        raise ConfigError("prior result has no shard plan to re-solve from")
+    shard_plan = prior.shard_plan
+    k = shard_plan.num_shards
+    if len(tasks) != len(shard_plan.task_shard):
+        raise ConfigError(
+            f"tasks must match the prior solve ({len(shard_plan.task_shard)} "
+            f"tasks, got {len(tasks)})"
+        )
+    dirty = sorted({int(s) for s in dirty_shards})
+    if not dirty:
+        raise ConfigError("no dirty shards to re-solve")
+    for s in dirty:
+        if not (0 <= s < k):
+            raise ConfigError(f"dirty shard {s} outside 0..{k - 1}")
+
+    perf = PerfCounters()
+    tracer = get_tracer()
+    with tracer.span(
+        "solve.resolve_dirty",
+        {"tasks": len(tasks), "shards": k, "dirty": len(dirty)}
+        if tracer.enabled
+        else None,
+    ) as root:
+        if candidates is None:
+            stats_before = candidate_cache_stats()
+            candsets = [
+                build_candidates(
+                    t,
+                    threshold_grid=cfg.threshold_grid,
+                    max_cuts=cfg.max_cuts,
+                    cache=cfg.candidate_cache,
+                )
+                for t in tasks
+            ]
+            stats_after = candidate_cache_stats()
+            perf.candidate_cache_hits += stats_after.hits - stats_before.hits
+            perf.candidate_cache_misses += stats_after.misses - stats_before.misses
+        else:
+            if len(candidates) != len(tasks):
+                raise ConfigError("candidates/tasks length mismatch")
+            candsets = list(candidates)
+
+        shard_tasks = shard_plan.tasks_by_shard()
+        views = {s: ShardView(cluster, shard_plan.server_shards[s]) for s in dirty}
+        stride = cfg.restarts + 1
+        workers = min(cfg.restart_workers, len(dirty))
+        inner_cfg = replace(
+            cfg,
+            shards=1,
+            nested_shards=0,
+            restart_workers=1 if workers > 1 else cfg.restart_workers,
+        )
+
+        def _run(s: int) -> Optional[JointResult]:
+            ids = shard_tasks[s]
+            if not ids:
+                return None
+            shard_seed = seed if s == 0 else derive_seed(seed, "shard", s)
+            solver = JointOptimizer(
+                views[s],
+                latency_model=lm,
+                objective=objective,
+                config=inner_cfg,
+                stream_base=1 + s * stride,
+            )
+            with tracer.stream(1 + s * stride, parent=root.span_id):
+                return solver.solve(
+                    [tasks[i] for i in ids],
+                    candidates=[candsets[i] for i in ids],
+                    seed=shard_seed,
+                )
+
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_run, dirty))
+        else:
+            results = [_run(s) for s in dirty]
+
+        perf.merge(
+            PerfCounters.merged(
+                {s: r.perf for s, r in zip(dirty, results) if r is not None}
+            )
+        )
+        perf.shard_solves += sum(1 for r in results if r is not None)
+
+        # stitch: clean shards by identity from the prior plan, dirty shards
+        # from the fresh shard results
+        n = len(tasks)
+        out_sets = list(candsets)
+        plan_idx: List[int] = [0] * n
+        assignment: List[Optional[int]] = [None] * n
+        dirty_set = set(dirty)
+
+        positions = _PositionResolver()
+
+        def _place(i: int, local_or_global, feats, server_ids=None) -> None:
+            if server_ids is None:
+                assignment[i] = local_or_global
+            else:
+                assignment[i] = (
+                    None if local_or_global is None else server_ids[local_or_global]
+                )
+            j = positions.resolve(out_sets[i], feats)
+            if j is None:
+                cs = out_sets[i]
+                out_sets[i] = CandidateSet(cs.task, list(cs.features) + [feats])
+                j = len(cs.features)
+            plan_idx[i] = j
+
+        for i, t in enumerate(tasks):
+            if shard_plan.task_shard[i] in dirty_set:
+                continue
+            _place(i, prior.plan.assignment[t.name], prior.plan.features[t.name])
+        for s, res in zip(dirty, results):
+            if res is None:
+                continue
+            for i in shard_tasks[s]:
+                name = tasks[i].name
+                _place(
+                    i,
+                    res.plan.assignment[name],
+                    res.plan.features[name],
+                    views[s].server_ids,
+                )
+
+        inc = IncrementalAllocator(tasks, out_sets, cluster, lm, objective)
+        alloc = inc.solve(plan_idx, assignment, perf)
+        jp = package_plan(
+            tasks, out_sets, plan_idx, alloc, cluster, lm, objective,
+            include_queueing=cfg.include_queueing, counters=perf,
+        )
+
+        stats_by_shard = {st.shard: st for st in prior.shard_stats}
+        for s, res in zip(dirty, results):
+            st = ShardStats(
+                shard=s,
+                servers=shard_plan.server_shards[s],
+                num_tasks=len(shard_tasks[s]),
+            )
+            if res is not None:
+                st.iterations = res.iterations
+                st.converged = res.converged
+                st.objective = res.plan.objective_value
+                st.solve_s = res.perf.solve_s
+            stats_by_shard[s] = st
+        shard_stats = [stats_by_shard[s] for s in sorted(stats_by_shard)]
+
+        candidate_counts = dict(prior.candidate_counts)
+        for res in results:
+            if res is not None:
+                candidate_counts.update(res.candidate_counts)
+
+        elapsed = time.perf_counter() - t_start
+        perf.resolve_dirty_s += elapsed
+        perf.solve_s = elapsed
+        return ShardedResult(
+            plan=jp,
+            iterations=max(
+                (r.iterations for r in results if r is not None), default=0
+            ),
+            converged=prior.converged
+            and all(r.converged for r in results if r is not None),
+            history=[jp.objective_value],
+            candidate_counts=candidate_counts,
+            perf=perf,
+            shard_plan=shard_plan,
+            shard_stats=shard_stats,
+            migration_history=[],
+        )

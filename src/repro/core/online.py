@@ -167,6 +167,11 @@ class OnlineController:
         # trigger): flags *which shards* have left the solved-for regime
         self._shard_plan = shard_plan
         self._registry = registry
+        # the last full sharded solve in base-cluster indexing — what an
+        # incremental re-solve stitches its clean shards from; None whenever
+        # the active plan did not come from a clean full-cluster sharded
+        # solve (down servers, shedding, centralized solver)
+        self._last_result = None
         self.drift_monitor: Optional[ShardDriftMonitor] = None
         if drift is not None:
             task_shard = {
@@ -362,6 +367,9 @@ class OnlineController:
         return dataclasses.replace(plan, assignment=assignment)
 
     def _solve(self, time_s: float, reason: str) -> JointPlan:
+        incremental = self._try_incremental(time_s, reason)
+        if incremental is not None:
+            return incremental
         cluster = self.current_cluster()
         tasks = self.current_tasks()
         result = JointOptimizer(
@@ -377,11 +385,75 @@ class OnlineController:
         ):
             plan = self._shed_overload(tasks, cluster, plan)
         plan = self._remap_servers(plan, cluster)
+        self._last_result = (
+            result
+            if getattr(result, "shard_plan", None) is not None
+            and not self._down_servers
+            and not self.shed_tasks
+            else None
+        )
         self._solved_bandwidth = dict(self._bandwidth)
         self._solved_rates = dict(self._rates)
         self._last_replan_s = time_s
         self.events.append(ControllerEvent(time_s, True, reason, plan.objective_value))
         return plan
+
+    def _try_incremental(self, time_s: float, reason: str) -> Optional[JointPlan]:
+        """Targeted re-plan of drift-flagged shards, when that is sound.
+
+        Fires only when the sharded solver is active, the previous plan came
+        from a clean full-cluster sharded solve, the statistical drift
+        monitor flags a non-empty *strict subset* of shards, and the trigger
+        is environmental drift rather than a server-liveness transition.
+        The flagged shards route through
+        :func:`~repro.core.coordinator.resolve_dirty` — a per-shard delta
+        (clean shards keep their plan by identity, re-priced under the
+        observed environment) — and their drift streams re-calibrate.
+        Anything else (global drift, faults, shedding) escalates to the full
+        solve as before.
+        """
+        if (
+            self._last_result is None
+            or self.drift_monitor is None
+            or self._solver_config.shards <= 1
+            or self._down_servers
+            or reason.startswith("server")
+            or self.config.shed_on_overload
+        ):
+            return None
+        dirty = self.drift_monitor.drifted_shards()
+        k = self._last_result.shard_plan.num_shards
+        if not dirty or len(dirty) >= k or any(not 0 <= s < k for s in dirty):
+            return None
+        from repro.core.coordinator import resolve_dirty
+
+        result = resolve_dirty(
+            self.current_tasks(),
+            self.current_cluster(),
+            self._last_result,
+            dirty,
+            latency_model=self._latency_model,
+            objective=self._objective,
+            config=self._solver_config,
+            candidates=self._candidates,
+            seed=self._seed,
+        )
+        for s in dirty:
+            self.drift_monitor.reset_shard(s)
+        self._last_result = result
+        self.shed_tasks = ()
+        self._solved_bandwidth = dict(self._bandwidth)
+        self._solved_rates = dict(self._rates)
+        self._last_replan_s = time_s
+        self.events.append(
+            ControllerEvent(
+                time_s,
+                True,
+                f"incremental re-solve of shards {list(dirty)} ({reason})",
+                result.plan.objective_value,
+            )
+        )
+        return result.plan
 
     def _shed_overload(
         self, tasks: List[TaskSpec], cluster: EdgeCluster, plan: JointPlan

@@ -48,6 +48,10 @@ from repro.network.link import Link
 #: Server-partition strategies understood by :func:`partition_servers`.
 SHARD_STRATEGIES = ("contiguous", "interleave")
 
+#: Affinity-index build modes understood by :class:`AffinityIndex` (and the
+#: ``affinity`` knob of :class:`~repro.core.joint.JointSolverConfig`).
+AFFINITY_MODES = ("sparse", "dense")
+
 
 @dataclass(frozen=True)
 class ShardPlan:
@@ -89,6 +93,14 @@ class ShardPlan:
         for t in self.task_shard:
             if not (0 <= t < k):
                 raise ConfigError(f"task homed to unknown shard {t} (of {k})")
+        # server -> shard inverse, built once so shard_of_server is O(1)
+        # (the migration loop asks it per accepted move; a linear scan made
+        # that O(servers) per move at 100k-task scale)
+        shard_of = [0] * len(seen)
+        for idx, shard in enumerate(self.server_shards):
+            for s in shard:
+                shard_of[s] = idx
+        object.__setattr__(self, "_shard_of", tuple(shard_of))
 
     @property
     def num_shards(self) -> int:
@@ -102,12 +114,22 @@ class ShardPlan:
         """Task indices homed to ``shard``, in global task order."""
         return [i for i, s in enumerate(self.task_shard) if s == shard]
 
+    def tasks_by_shard(self) -> List[List[int]]:
+        """Per shard, the task indices homed to it — one O(tasks) pass.
+
+        Equivalent to ``[plan.tasks_of(s) for s in range(k)]`` (each inner
+        list ascending), without the O(tasks × shards) repeated scans.
+        """
+        out: List[List[int]] = [[] for _ in range(self.num_shards)]
+        for i, s in enumerate(self.task_shard):
+            out[s].append(i)
+        return out
+
     def shard_of_server(self, server: int) -> int:
-        """The shard owning global server index ``server``."""
-        for k, shard in enumerate(self.server_shards):
-            if server in shard:
-                return k
-        raise ConfigError(f"server {server} not in any shard")
+        """The shard owning global server index ``server`` (O(1))."""
+        if not (0 <= server < len(self._shard_of)):
+            raise ConfigError(f"server {server} not in any shard")
+        return self._shard_of[server]
 
     def with_task_shard(self, task_shard: Sequence[int]) -> "ShardPlan":
         """A copy with the homing replaced (after migration rounds)."""
@@ -155,6 +177,17 @@ class ShardView:
     @property
     def num_devices(self) -> int:
         return self.parent.num_devices
+
+    @property
+    def topology(self) -> object:
+        """The parent's topology (row fingerprints stay valid on the subset).
+
+        A device row over *all* parent servers fingerprints a superset of the
+        view's columns, so equal parent rows imply equal view rows — the
+        sparse affinity index's dedup stays sound when built over a view
+        (nested sharding recurses through here).
+        """
+        return getattr(self.parent, "topology", None)
 
     def by_name(self, name: str) -> DeviceSpec:
         return self.parent.by_name(name)
@@ -218,6 +251,38 @@ def partition_servers(
     return tuple(out)
 
 
+def partition_servers_nested(
+    num_servers: int,
+    regions: int,
+    racks_per_region: int,
+    shard_by: str = "contiguous",
+) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+    """Two-level deterministic partition: regions, then racks inside each.
+
+    Splits ``0..num_servers-1`` into ``regions`` top-level groups with
+    :func:`partition_servers`, then splits each region's servers into up to
+    ``racks_per_region`` racks with the same strategy applied to the
+    region's *local* index space (so interleaving balances inside the
+    region, not globally).  Regions smaller than ``racks_per_region`` get
+    one rack per server — racks are never empty.
+
+    The flattened racks are exactly the flattened regions, which are exactly
+    ``0..num_servers-1``: each level is a true partition.  This is the
+    server layout the coordinator's nested mode
+    (``JointSolverConfig.nested_shards``) solves over — the outer
+    ``solve_sharded`` owns the regions, each region's shard solve re-shards
+    its view into racks.
+    """
+    if racks_per_region < 1:
+        raise ConfigError(f"racks_per_region must be >= 1, got {racks_per_region}")
+    out: List[Tuple[Tuple[int, ...], ...]] = []
+    for region in partition_servers(num_servers, regions, shard_by):
+        racks = min(racks_per_region, len(region))
+        local = partition_servers(len(region), racks, shard_by)
+        out.append(tuple(tuple(region[j] for j in rack) for rack in local))
+    return tuple(out)
+
+
 class AffinityIndex:
     """Template-deduplicated optimistic latency bounds ``B[template, server]``.
 
@@ -230,6 +295,27 @@ class AffinityIndex:
     topologies share one ``Link``), so tasks are first collapsed to
     templates and the O(templates × servers) sweep matrix is computed once;
     every later screen is an array lookup.
+
+    ``mode`` selects how the index is built and queried:
+
+    - ``"dense"`` — the original sweep: per-task dedup keys carry the full
+      per-server link-id row (O(tasks × servers) key build) and
+      :meth:`foreign_mins` reduces a masked copy of the bound matrix per
+      home shard.
+    - ``"sparse"`` — identical *answers* at sub-O(tasks × servers) cost:
+      dedup keys use the topology's O(1) row fingerprint
+      (:meth:`~repro.network.topology.StarTopology.row_key`) when one is
+      available, a per-template ``(bound, server)``-sorted top-k shortlist is
+      cut with ``np.argpartition`` (widened on boundary ties so order is
+      exact), and :meth:`foreign_mins` walks the shortlist instead of
+      re-reducing the matrix.  Results are bit-identical to dense — both
+      dedups are sound (tasks sharing a key share a bound row) and every
+      tie breaks by the same (value, index) order.
+
+    The compressed template→tasks mapping (:attr:`template_tasks`) and the
+    per-partition :meth:`foreign_mins` / :meth:`shard_orders` caches let one
+    index serve homing, every migration round, and incremental re-solves
+    without recomputation.
     """
 
     def __init__(
@@ -238,25 +324,37 @@ class AffinityIndex:
         candsets: Sequence[CandidateSet],
         cluster: EdgeCluster,
         latency_model: Optional[LatencyModel] = None,
+        mode: str = "dense",
     ) -> None:
         if len(candsets) != len(tasks):
             raise ConfigError("tasks/candsets length mismatch")
+        if mode not in AFFINITY_MODES:
+            raise ConfigError(
+                f"unknown affinity mode {mode!r}; available {AFFINITY_MODES}"
+            )
+        self.mode = mode
         lm = latency_model or LatencyModel()
         m = cluster.num_servers
         keys: Dict[Tuple, int] = {}
         self.template_of: List[int] = []
         reps: List[int] = []
+        topo = getattr(cluster, "topology", None) if mode == "sparse" else None
+        row_key = getattr(topo, "row_key", None)
         for i, t in enumerate(tasks):
             device = cluster.by_name(t.device_name)
+            if row_key is not None:
+                links_part: Tuple = row_key(t.device_name)
+            else:
+                links_part = tuple(
+                    id(cluster.link(t.device_name, srv.name))
+                    for srv in cluster.servers
+                )
             key = (
                 id(candsets[i].features),
                 device.peak_flops,
                 tuple(sorted(device.efficiency.items())),
                 device.overhead_s,
-                tuple(
-                    id(cluster.link(t.device_name, srv.name))
-                    for srv in cluster.servers
-                ),
+                links_part,
             )
             tpl = keys.get(key)
             if tpl is None:
@@ -273,6 +371,50 @@ class AffinityIndex:
                 self.bounds[tpl, s] = float(
                     np.min(candsets[i].latencies(device, lm, server=server, link=link))
                 )
+        # compressed template -> tasks mapping (one O(tasks) pass); lets
+        # screens iterate "all tasks of template t" without rescanning
+        self.template_tasks: List[List[int]] = [[] for _ in reps]
+        for i, tpl in enumerate(self.template_of):
+            self.template_tasks[tpl].append(i)
+        # per-partition caches (keyed by the server_shards tuple): the
+        # foreign table and homing orders are pure functions of the
+        # partition, so one solve — and any incremental re-solve after it —
+        # computes each at most once
+        self._foreign_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        self._orders_cache: Dict[Tuple, np.ndarray] = {}
+        self._prefix: Optional[np.ndarray] = None
+        self._prefix_k: int = 0
+
+    def _prefix_order(self, k: int) -> np.ndarray:
+        """Per-template first-``k`` servers in exact ``(bound, index)`` order.
+
+        ``np.argpartition`` cuts the k cheapest per row; rows where the k-th
+        value ties with values outside the cut fall back to a full stable
+        argsort, so the shortlist order always matches what a full
+        ``sorted(..., key=(value, index))`` would produce.
+        """
+        m = self.bounds.shape[1]
+        k = min(k, m)
+        if self._prefix is not None and self._prefix_k >= k:
+            return self._prefix[:, :k]
+        if k >= m:
+            order = np.argsort(self.bounds, axis=1, kind="stable")
+        else:
+            sel = np.argpartition(self.bounds, k - 1, axis=1)[:, :k]
+            sel.sort(axis=1)  # ascending index, so a stable value-sort
+            vals = np.take_along_axis(self.bounds, sel, axis=1)
+            order = np.take_along_axis(
+                sel, np.argsort(vals, axis=1, kind="stable"), axis=1
+            )  # ...yields exact (value, index) order within the cut
+            kth = vals.max(axis=1)
+            ragged = (self.bounds <= kth[:, None]).sum(axis=1) > k
+            if np.any(ragged):
+                order[ragged] = np.argsort(
+                    self.bounds[ragged], axis=1, kind="stable"
+                )[:, :k]
+        self._prefix = order
+        self._prefix_k = k
+        return order
 
     def shard_mins(
         self, server_shards: Sequence[Sequence[int]]
@@ -286,11 +428,47 @@ class AffinityIndex:
         )
         return val, srv
 
+    def shard_orders(self, server_shards: Sequence[Sequence[int]]) -> np.ndarray:
+        """Per template, the shard preference order of :func:`home_tasks`.
+
+        Row ``t`` is ``range(k)`` sorted by ``(shard_min[t, j], j)`` — the
+        stable argsort ties exactly like the per-task Python sort the dense
+        homing path runs, but once per template instead of once per task.
+        Cached per partition.
+        """
+        pkey = tuple(tuple(s) for s in server_shards)
+        cached = self._orders_cache.get(pkey)
+        if cached is None:
+            scores, _ = self.shard_mins(server_shards)
+            cached = np.argsort(scores, axis=1, kind="stable")
+            self._orders_cache[pkey] = cached
+        return cached
+
     def foreign_mins(
         self, server_shards: Sequence[Sequence[int]]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Per (template, home shard): best bound over servers *outside* the
-        shard and the server achieving it (migration's screen)."""
+        shard and the server achieving it (migration's screen).
+
+        Built at most once per partition (cached); the sparse mode reads the
+        answer off the top-k shortlist — the first shortlist entry outside
+        the home shard, which exists within the first ``max_shard + 1``
+        entries because a shard holds at most ``max_shard`` servers.
+        """
+        pkey = tuple(tuple(s) for s in server_shards)
+        cached = self._foreign_cache.get(pkey)
+        if cached is not None:
+            return cached
+        if self.mode == "sparse":
+            out = self._foreign_mins_sparse(pkey)
+        else:
+            out = self._foreign_mins_dense(server_shards)
+        self._foreign_cache[pkey] = out
+        return out
+
+    def _foreign_mins_dense(
+        self, server_shards: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
         m = self.bounds.shape[1]
         vals = []
         srvs = []
@@ -306,6 +484,39 @@ class AffinityIndex:
             vals.append(sub.min(axis=1))
             srvs.append(foreign[sub.argmin(axis=1)])
         return np.stack(vals, axis=1), np.stack(srvs, axis=1)
+
+    def _foreign_mins_sparse(
+        self, server_shards: Tuple[Tuple[int, ...], ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        num_templates, m = self.bounds.shape
+        k = len(server_shards)
+        shard_of = np.empty(m, dtype=np.int64)
+        for sh, ids in enumerate(server_shards):
+            shard_of[list(ids)] = sh
+        max_shard = max(len(s) for s in server_shards)
+        order = self._prefix_order(min(max_shard + 1, m))
+        order_shard = shard_of[order]
+        vals = np.full((num_templates, k), np.inf)
+        srvs = np.full((num_templates, k), -1, dtype=np.int64)
+        for tpl in range(num_templates):
+            row_o = order[tpl]
+            row_s = order_shard[tpl]
+            first = int(row_o[0])
+            s0 = int(row_s[0])
+            # the global best server is foreign to every home shard but its
+            # own; for that one home, the first entry from any other shard
+            # is the answer (guaranteed inside the shortlist)
+            vals[tpl, :] = self.bounds[tpl, first]
+            srvs[tpl, :] = first
+            vals[tpl, s0] = np.inf
+            srvs[tpl, s0] = -1
+            for pos in range(1, row_o.shape[0]):
+                if int(row_s[pos]) != s0:
+                    nxt = int(row_o[pos])
+                    vals[tpl, s0] = self.bounds[tpl, nxt]
+                    srvs[tpl, s0] = nxt
+                    break
+        return vals, srvs
 
 
 def home_tasks(
@@ -325,6 +536,12 @@ def home_tasks(
     every preferred shard is full, the least-loaded shard (relative to its
     cap) takes the task.  Deterministic: tasks are visited in index order
     and ties break toward the lower shard index.
+
+    A sparse index homes through per-template preference orders with a
+    monotone full-shard cursor instead of a per-task O(shards log shards)
+    sort: caps are static and loads only grow, so a shard observed full
+    stays full and the cursor never backtracks.  The chosen shard per task
+    is identical to the dense walk's.
     """
     if len(candsets) != len(tasks):
         raise ConfigError("tasks/candsets length mismatch")
@@ -334,9 +551,30 @@ def home_tasks(
     caps = [max(1, -(-n * len(shard) // m)) for shard in server_shards]
     loads = [0] * k
     index = affinity or AffinityIndex(tasks, candsets, cluster, latency_model)
-    shard_scores, _ = index.shard_mins(server_shards)
 
     out: List[int] = []
+    if index.mode == "sparse":
+        orders = index.shard_orders(server_shards)
+        template_of = index.template_of
+        cursor = [0] * orders.shape[0]
+        for i in range(n):
+            tpl = template_of[i]
+            order = orders[tpl]
+            c = cursor[tpl]
+            # skip shards that filled since this template last homed; every
+            # skip is permanent, so total cursor motion is O(templates × k)
+            while c < k and loads[order[c]] >= caps[order[c]]:
+                c += 1
+            cursor[tpl] = c
+            if c < k:
+                chosen = int(order[c])
+            else:  # all caps hit (rounding): least relatively loaded
+                chosen = min(range(k), key=lambda j: (loads[j] / caps[j], j))
+            loads[chosen] += 1
+            out.append(chosen)
+        return tuple(out)
+
+    shard_scores, _ = index.shard_mins(server_shards)
     for i in range(n):
         scores = shard_scores[index.template_of[i]]
         order = sorted(range(k), key=lambda j: (scores[j], j))

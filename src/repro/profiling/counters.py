@@ -28,6 +28,13 @@ class PerfCounters:
     ----------
     solve_s:
         Wall-clock seconds of the whole solve (including refinement).
+    index_build_s:
+        Wall-clock seconds building the coordinator's affinity index
+        (template dedup + bound sweep + shortlists); 0 for centralized
+        solves, which never build one.
+    resolve_dirty_s:
+        Wall-clock seconds spent inside incremental shard re-solves
+        (:func:`repro.core.coordinator.resolve_dirty`); 0 for full solves.
     allocate_calls:
         Share-allocation solves requested (full or incremental).
     allocate_group_solves:
@@ -53,6 +60,8 @@ class PerfCounters:
     """
 
     solve_s: float = 0.0
+    index_build_s: float = 0.0
+    resolve_dirty_s: float = 0.0
     allocate_calls: int = 0
     allocate_group_solves: int = 0
     latency_evals: int = 0
@@ -93,13 +102,13 @@ class PerfCounters:
         """Register this solve's work into a telemetry metrics registry.
 
         Integer work counters become monotonic counters named
-        ``{prefix}.{field}``; the wall-clock ``solve_s`` becomes a gauge.
+        ``{prefix}.{field}``; wall-clock ``*_s`` timers become gauges.
         The dataclass stays the in-band API — this is the bridge to the
         :mod:`repro.telemetry` layer for trace/metrics dumps.
         """
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name == "solve_s":
+            if f.name.endswith("_s"):
                 registry.gauge(f"{prefix}.{f.name}").set(value)
             else:
                 registry.counter(f"{prefix}.{f.name}").inc(value)

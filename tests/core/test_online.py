@@ -219,3 +219,91 @@ class TestDriftWiring:
                 break
         assert c.drifted_shards == (0,)
         assert registry.gauge("shard.0.drifted").value == 1.0
+
+
+class TestIncrementalReplan:
+    """Drift-flagged strict-subset re-plans route through resolve_dirty."""
+
+    def _drifted_controller(self, small_cluster, small_tasks, small_candidates):
+        from repro.core.joint import JointSolverConfig
+
+        c = OnlineController(
+            small_cluster, small_tasks, candidates=small_candidates,
+            solver_config=JointSolverConfig(shards=2),
+            config=ControllerConfig(replan_threshold=0.3, min_replan_interval_s=1.0),
+            drift=DRIFT,
+            shard_plan=ShardPlan(server_shards=((0,), (1,)), task_shard=(0, 1)),
+        )
+        stable = [0.020, 0.0202, 0.0198, 0.0201, 0.0199, 0.020]
+        for i, v in enumerate(stable * 2):
+            c.observe(EnvironmentSample(
+                time_s=float(i), service_times_s={"t0": v, "t1": v},
+            ))
+        for i, v in enumerate([0.050, 0.0498, 0.0502, 0.0501, 0.0499, 0.050]):
+            c.observe(EnvironmentSample(
+                time_s=12.0 + i, service_times_s={"t0": 0.020, "t1": v},
+            ))
+            if c.drifted_shards:
+                break
+        assert c.drifted_shards == (1,)
+        return c
+
+    def test_subset_drift_resolves_incrementally(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        c = self._drifted_controller(small_cluster, small_tasks, small_candidates)
+        fired = c.observe(
+            EnvironmentSample(time_s=40.0, arrival_rates={"t1": 8.0})
+        )
+        assert fired
+        event = c.events[-1]
+        assert event.replanned
+        assert event.reason.startswith("incremental re-solve of shards [1]")
+        # the re-solved shard's streams are reset for fresh calibration
+        assert c.drifted_shards == ()
+        assert set(c.plan.latencies) == {t.name for t in small_tasks}
+
+    def test_global_drift_escalates_to_full_solve(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        c = self._drifted_controller(small_cluster, small_tasks, small_candidates)
+        # drift the second shard too: every shard dirty -> full solve
+        for i, v in enumerate([0.060, 0.0598, 0.0602, 0.0601, 0.0599, 0.060]):
+            c.observe(EnvironmentSample(
+                time_s=25.0 + i, service_times_s={"t0": v, "t1": 0.050},
+            ))
+            if len(c.drifted_shards) == 2:
+                break
+        assert c.drifted_shards == (0, 1)
+        fired = c.observe(
+            EnvironmentSample(time_s=40.0, arrival_rates={"t0": 9.0})
+        )
+        assert fired
+        assert not c.events[-1].reason.startswith("incremental")
+
+    def test_centralized_solver_never_incremental(
+        self, small_cluster, small_tasks, small_candidates
+    ):
+        # shards=1 (default solver): the drift monitor may flag, but there
+        # is no prior sharded result to stitch from
+        c = OnlineController(
+            small_cluster, small_tasks, candidates=small_candidates,
+            config=ControllerConfig(replan_threshold=0.3, min_replan_interval_s=1.0),
+            drift=DRIFT,
+            shard_plan=ShardPlan(server_shards=((0,), (1,)), task_shard=(0, 1)),
+        )
+        for i in range(12):
+            c.observe(EnvironmentSample(
+                time_s=float(i), service_times_s={"t0": 0.02, "t1": 0.02},
+            ))
+        for i in range(6):
+            c.observe(EnvironmentSample(
+                time_s=12.0 + i, service_times_s={"t1": 0.05},
+            ))
+            if c.drifted_shards:
+                break
+        fired = c.observe(
+            EnvironmentSample(time_s=40.0, arrival_rates={"t1": 8.0})
+        )
+        assert fired
+        assert not c.events[-1].reason.startswith("incremental")

@@ -15,7 +15,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.sharding import ShardPlan, partition_servers
+from repro.core.sharding import (
+    ShardPlan,
+    partition_servers,
+    partition_servers_nested,
+)
 from repro.errors import ConfigError
 from repro.profiling.counters import PerfCounters
 
@@ -27,7 +31,7 @@ def counters(draw):
     values = {
         name: (
             draw(st.floats(0.0, 100.0, allow_nan=False))
-            if name == "solve_s"
+            if name.endswith("_s")  # wall-clock timer fields are floats
             else draw(st.integers(0, 10_000))
         )
         for name in _COUNTER_FIELDS
@@ -73,6 +77,44 @@ def test_partition_covers_every_server_once(num_servers, shards, shard_by):
     flat = [s for shard in parts for s in shard]
     assert sorted(flat) == list(range(num_servers))
     assert all(shard for shard in parts)
+
+
+@given(
+    num_servers=st.integers(1, 64),
+    regions=st.integers(1, 8),
+    racks=st.integers(1, 8),
+    shard_by=st.sampled_from(["contiguous", "interleave"]),
+)
+def test_nested_partition_partitions_both_levels(
+    num_servers, regions, racks, shard_by
+):
+    """Regions partition the server set; racks partition each region; the
+    flattened racks are exactly the flat partition the outer level made —
+    what the coordinator's nested mode (regions → racks) relies on."""
+    if regions > num_servers:
+        with pytest.raises(ConfigError):
+            partition_servers_nested(num_servers, regions, racks, shard_by)
+        return
+    nested = partition_servers_nested(num_servers, regions, racks, shard_by)
+    outer = partition_servers(num_servers, regions, shard_by)
+    assert len(nested) == len(outer) == regions
+    for region_racks, region in zip(nested, outer):
+        # racks are non-empty, disjoint, and cover exactly the region
+        assert all(rack for rack in region_racks)
+        assert len(region_racks) == min(racks, len(region))
+        flat = [s for rack in region_racks for s in rack]
+        assert sorted(flat) == sorted(region)
+        assert len(set(flat)) == len(flat)
+    all_servers = [s for rr in nested for rack in rr for s in rack]
+    assert sorted(all_servers) == list(range(num_servers))
+
+
+@given(num_servers=st.integers(1, 32), regions=st.integers(1, 4))
+def test_nested_partition_rejects_bad_racks(num_servers, regions):
+    if regions > num_servers:
+        return
+    with pytest.raises(ConfigError):
+        partition_servers_nested(num_servers, regions, 0)
 
 
 @settings(max_examples=50)
