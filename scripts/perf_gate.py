@@ -85,6 +85,29 @@ instance against a checked-in baseline:
 - the OpenMetrics exposition of the run's ``sim.*`` counters must be
   well-formed (``# EOF`` terminator, ``_total`` counter families).
 
+``--suite risk`` gates the chance-constrained (mean+κ·σ) solver path and the
+service-jitter simulator path — a pure contract gate (no wall-clock baseline
+of its own):
+
+- on fixed-seed reference instances, a solve with ``RiskConfig(buffer="none")``
+  must be **bit-identical** to a risk-free solve (plan + history), both
+  centralized and sharded — the risk-off degenerate contract;
+- the default (noise-free) sim workload's ``sim.*`` counters must still match
+  the checked-in sim baseline exactly — the jitter plumbing may not perturb
+  the deterministic replay;
+- with per-request jitter on (σ=0.2), the fast path, the event loop, and the
+  chunked streaming sweep must agree (records bit-exact fast vs event;
+  counters + scalar summary exact for streaming) — the engines draw the same
+  counter-based per-request factors regardless of evaluation order;
+- a paired interleaved timing of risk-free vs ``buffer="none"`` solves must
+  stay within ``--max-risk-overhead`` (default 1.05×, measured ≈1.00×) —
+  threading the risk hooks through the hot path may not tax the default
+  configuration;
+- a reduced-horizon E18 run must report ``calibration_ok`` (realized tail
+  violation ≤ ε in every (ε, load) cell) and ``beats_deterministic`` (at
+  least one over-ε cell where buffering lowers the violation rate) — the
+  calibrated-guarantee contract.
+
 ``--artifacts-dir DIR`` additionally writes CI-uploadable artifacts for any
 suite: the raw measurement JSON, a solver phase-breakdown table, and (obs
 suite) a replayable ``metrics.jsonl`` stream + ``openmetrics.txt`` snapshot.
@@ -110,6 +133,7 @@ Usage:
     PYTHONPATH=src python scripts/perf_gate.py --suite sim       # simulator check
     PYTHONPATH=src python scripts/perf_gate.py --suite stream    # 1M-request gate
     PYTHONPATH=src python scripts/perf_gate.py --suite shard     # control-plane gate
+    PYTHONPATH=src python scripts/perf_gate.py --suite risk      # chance-constrained gate
 
 Exit code 0 = within budget, 1 = regression.
 """
@@ -1302,6 +1326,237 @@ def run_obs_suite(args) -> int:
     )
 
 
+#: Fixed-seed instances for the risk-off (``buffer="none"``) identity sweep.
+RISK_REFERENCE_INSTANCES = (
+    ("smart_city", 6, 2, 0),
+    ("industrial", 8, 2, 3),
+    ("mobile_ar", 8, 3, 5),
+)
+
+#: Jitter sigma of the cross-engine equivalence check (mean-one log-normal).
+RISK_JITTER_SIGMA = 0.2
+
+
+def measure_risk(rounds: int = 5) -> dict:
+    """Risk-suite measurement in the gate's JSON-safe shape.
+
+    Four blocks: the ``buffer="none"`` ≡ risk-free identity sweep
+    (centralized + sharded), the noise-free sim counter check against the
+    sim baseline, the jitter-on cross-engine equivalence, and the paired
+    interleaved overhead timing.  The E18 calibration run happens in
+    :func:`run_risk_suite` so its table can land in the artifacts.
+    """
+    from dataclasses import replace
+
+    from repro.core.candidates import build_candidates
+    from repro.core.coordinator import solve_sharded
+    from repro.core.joint import JointOptimizer, JointSolverConfig
+    from repro.core.risk import RiskConfig
+    from repro.sim.runner import simulate_plan
+    from repro.workloads.scenarios import build_scenario
+
+    none_cfg = JointSolverConfig(risk=RiskConfig(buffer="none"))
+    identity = {}
+    for scenario, n, m, seed in RISK_REFERENCE_INSTANCES:
+        cluster, tasks = build_scenario(
+            scenario, num_tasks=n, num_servers=m, seed=seed
+        )
+        cands = [build_candidates(t) for t in tasks]
+        plain = JointOptimizer(cluster).solve(tasks, candidates=cands, seed=seed)
+        off = JointOptimizer(cluster, config=none_cfg).solve(
+            tasks, candidates=cands, seed=seed
+        )
+        identity[f"{scenario}:{n}x{m}@{seed}"] = (
+            _plans_equal(plain.plan, off.plan) and plain.history == off.history
+        )
+
+    # sharded arm of the same contract: buffer="none" through the coordinator
+    cluster, tasks = build_scenario("smart_city", num_tasks=24, num_servers=4, seed=3)
+    cands = [build_candidates(t) for t in tasks]
+    sh_plain = solve_sharded(
+        tasks, cluster,
+        config=JointSolverConfig(shards=2, migration_rounds=2),
+        candidates=cands, seed=3,
+    )
+    sh_off = solve_sharded(
+        tasks, cluster,
+        config=JointSolverConfig(
+            shards=2, migration_rounds=2, risk=RiskConfig(buffer="none")
+        ),
+        candidates=cands, seed=3,
+    )
+    sharded_identity = (
+        _plans_equal(sh_plain.plan, sh_off.plan)
+        and sh_plain.migration_history == sh_off.migration_history
+    )
+
+    # noise-free sim counters vs the checked-in sim baseline: the jitter
+    # plumbing may not perturb the deterministic replay
+    tasks, plan, cluster, cfg = _sim_workload()
+    report = simulate_plan(tasks, plan, cluster, cfg)
+    snapshot = _registry_snapshot(report.counters)
+    sim_counters = {
+        name: snapshot[f"sim.{name}"] for name in SIM_GATED_COUNTERS
+    }
+
+    # jitter on: fast path ≡ event loop (records bit-exact), streaming ≡
+    # one-shot (counters + scalar summary exact)
+    jcfg = replace(cfg, service_noise=RISK_JITTER_SIGMA)
+    fast = simulate_plan(tasks, plan, cluster, jcfg)
+    event = simulate_plan(tasks, plan, cluster, replace(jcfg, fast_path=False))
+    stream = simulate_plan(
+        tasks, plan, cluster, replace(jcfg, streaming=True, chunk_size=4096)
+    )
+    jitter_paths_equal = _reports_equal(fast, event)
+    jitter_stream_equal = (
+        stream.counters == fast.counters
+        and stream.mean_latency_s == fast.mean_latency_s
+        and stream.miss_rate == fast.miss_rate
+        and stream.accuracy == fast.accuracy
+    )
+
+    # paired interleaved overhead: risk-free vs buffer="none" solves share
+    # adjacent machine state, so the best pairwise ratio cancels drift
+    cluster, tasks = build_scenario("smart_city", num_tasks=16, seed=0)
+    cands = [build_candidates(t) for t in tasks]
+    best_ratio = float("inf")
+    for _ in range(rounds):
+        gc.collect()
+        t0 = perf_counter()
+        JointOptimizer(cluster).solve(tasks, candidates=cands, seed=0)
+        plain_s = perf_counter() - t0
+        t0 = perf_counter()
+        JointOptimizer(cluster, config=none_cfg).solve(
+            tasks, candidates=cands, seed=0
+        )
+        off_s = perf_counter() - t0
+        best_ratio = min(best_ratio, off_s / max(plain_s, 1e-9))
+
+    return {
+        "suite": "risk",
+        "workload": (
+            f"identity sweep + smart_city x16 sim workload, jitter "
+            f"sigma={RISK_JITTER_SIGMA}, seed 0"
+        ),
+        "identity": identity,
+        "sharded_identity": sharded_identity,
+        "sim_counters": sim_counters,
+        "jitter_paths_equal": jitter_paths_equal,
+        "jitter_stream_equal": jitter_stream_equal,
+        "overhead_ratio": best_ratio,
+    }
+
+
+def check_risk(
+    current: dict,
+    e18,
+    sim_baseline: dict,
+    max_risk_overhead: float,
+) -> int:
+    """Gate the chance-constrained path: identity, equivalence, calibration."""
+    failures = []
+
+    for key, ok in current["identity"].items():
+        status = "OK" if ok else "FAIL"
+        print(f'{status} buffer="none" == risk-free solve (bit-exact) on {key}')
+        if not ok:
+            failures.append(f"identity:{key}")
+
+    status = "OK" if current["sharded_identity"] else "FAIL"
+    print(f'{status} buffer="none" == risk-free solve through the 2-shard coordinator')
+    if not current["sharded_identity"]:
+        failures.append("sharded_identity")
+
+    base_counters = (sim_baseline or {}).get("counters", {})
+    for name in SIM_GATED_COUNTERS:
+        base = base_counters.get(name)
+        cur = current["sim_counters"][name]
+        if base is None:
+            print(f"--   sim.{name} {cur} (no sim baseline to pin against)")
+            continue
+        status = "OK" if cur == base else "FAIL"
+        print(
+            f"{status} noise-free sim.{name} {cur} vs sim baseline {base} "
+            f"(exact, drift {cur - base:+d})"
+        )
+        if cur != base:
+            failures.append(f"sim.{name}")
+
+    for key, label in (
+        ("jitter_paths_equal",
+         f"jitter sigma={RISK_JITTER_SIGMA}: fast-path report == event-loop "
+         "report (bit-exact)"),
+        ("jitter_stream_equal",
+         f"jitter sigma={RISK_JITTER_SIGMA}: streaming summary == one-shot "
+         "summary (exact)"),
+    ):
+        status = "OK" if current[key] else "FAIL"
+        print(f"{status} {label}")
+        if not current[key]:
+            failures.append(key)
+
+    ratio = current["overhead_ratio"]
+    status = "OK" if ratio <= max_risk_overhead else "FAIL"
+    print(
+        f'{status} buffer="none" solve overhead {ratio:.3f}x vs risk-free '
+        f"(paired best-of-N, budget {max_risk_overhead:.2f}x)"
+    )
+    if ratio > max_risk_overhead:
+        failures.append("overhead_ratio")
+
+    cal = e18.extras["calibration_ok"]
+    status = "OK" if cal else "FAIL"
+    print(
+        f"{status} E18 calibration: realized tail violation <= eps in every "
+        f"(eps, load) cell"
+    )
+    if not cal:
+        failures.append("calibration_ok")
+
+    beats = e18.extras["beats_deterministic"]
+    status = "OK" if beats else "FAIL"
+    print(
+        f"{status} E18: buffered arm beats the deterministic arm's violation "
+        "rate on >=1 over-eps cell"
+    )
+    if not beats:
+        failures.append("beats_deterministic")
+
+    if failures:
+        print(f"risk perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("risk perf gate passed")
+    return 0
+
+
+def run_risk_suite(args) -> int:
+    """``--suite risk`` flow: contract gate (no wall-clock baseline of its own)."""
+    from repro.experiments import e18_risk
+
+    if args.check_overhead:
+        print("--check-overhead is not defined for the risk suite", file=sys.stderr)
+        return 1
+    if args.update:
+        print(
+            "risk suite is contract-only (pins the sim baseline's counters); "
+            "nothing to update — running the gate",
+        )
+    current = measure_risk()
+    # reduced-horizon E18: the calibration claim at gate cost
+    e18 = e18_risk.run(horizon_s=15.0, warmup_s=2.0)
+    if getattr(args, "artifacts_dir", None):
+        outdir = Path(args.artifacts_dir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        (outdir / "risk_e18.txt").write_text(e18.format() + "\n")
+    write_artifacts(args, "risk", current)
+    sim_baseline = (
+        json.loads(DEFAULT_SIM_BASELINE.read_text())
+        if DEFAULT_SIM_BASELINE.exists()
+        else None
+    )
+    return check_risk(current, e18, sim_baseline, args.max_risk_overhead)
+
+
 def write_artifacts(args, suite: str, current: dict) -> None:
     """Write CI-uploadable artifacts when ``--artifacts-dir`` is given.
 
@@ -1402,12 +1657,13 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--suite",
-        choices=("solver", "sim", "stream", "shard", "obs"),
+        choices=("solver", "sim", "stream", "shard", "obs", "risk"),
         default="solver",
         help=(
             "what to gate: the E9 joint solver (default), the simulator hot "
             "path, the million-request streaming path, the sharded control "
-            "plane, or the streaming SLO observability plane"
+            "plane, the streaming SLO observability plane, or the "
+            "chance-constrained risk path"
         ),
     )
     ap.add_argument(
@@ -1515,6 +1771,15 @@ def main(argv=None) -> int:
         ),
     )
     ap.add_argument(
+        "--max-risk-overhead",
+        type=float,
+        default=1.05,
+        help=(
+            "risk suite: max paired wall-time ratio of a buffer=\"none\" "
+            "solve over a risk-free solve (default 1.05x, measured ~1.00x)"
+        ),
+    )
+    ap.add_argument(
         "--artifacts-dir",
         type=Path,
         default=None,
@@ -1542,6 +1807,9 @@ def main(argv=None) -> int:
             "shard": DEFAULT_SHARD_BASELINE,
             "obs": DEFAULT_OBS_BASELINE,
         }.get(args.suite, DEFAULT_BASELINE)
+
+    if args.suite == "risk":
+        return run_risk_suite(args)
 
     if args.suite == "obs":
         return run_obs_suite(args)

@@ -14,7 +14,10 @@ Commands:
 - ``monitor`` — live-refreshing text dashboard (SLO status, burn rates,
   per-shard health, miss-rate sparklines) over a monitored run executed
   cell-by-cell, or over a saved metrics stream (``--from``);
-- ``experiment ID`` — regenerate one table/figure (E1–E16);
+- ``experiment ID`` — regenerate one table/figure (E1–E18);
+- ``risk`` — chance-constrained solve: compare the deterministic plan
+  against the mean+κ·σ buffered plan under per-request service jitter, and
+  report certification counts and realized tail-violation rates against ε;
 - ``chaos`` — replay a scenario under a seed-sampled fault schedule, with
   and without the failure-recovery policy ladder;
 - ``trace TARGET`` — run a scenario solve (or an experiment) with telemetry
@@ -62,7 +65,10 @@ def _cmd_list_models(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     graph = zoo.build(args.model)
     device = device_preset(args.device)
-    table = profile_model(graph, device, LatencyModel(), noise=args.noise, seed=args.seed)
+    table = profile_model(
+        graph, device, LatencyModel(), noise=args.noise, seed=args.seed,
+        repeats=args.repeats,
+    )
     print(table.summary(top=args.top))
     return 0
 
@@ -169,6 +175,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         max_records=args.max_records,
         sim_workers=args.sim_workers,
         windows=_window_config(args),
+        service_noise=args.service_noise,
+        epsilon=args.epsilon,
     )
     if args.cells > 1:
         report = run_cells(tasks, result.plan, cluster, cfg, args.cells)
@@ -181,6 +189,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"(streaming mode: {report.total_requests} requests folded into "
             f"bounded accumulators, {len(report.records)} reservoir records kept)"
         )
+    if args.epsilon is not None:
+        print()
+        print(_epsilon_verdict(report, tasks, args.epsilon))
     if report.windowed is not None:
         from repro.telemetry import MetricsRegistry, MetricsStreamWriter, evaluate_slos
 
@@ -203,6 +214,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 out.registry_snapshot(args.horizon, registry)
             print(f"metrics stream written to {args.metrics_out}")
     return 0
+
+
+def _epsilon_verdict(report, tasks, epsilon: float) -> str:
+    """Per-task realized deadline-miss rate against the tail target ε."""
+    rows = []
+    total = 0
+    missed = 0.0
+    for t in tasks:
+        st = report.per_task.get(t.name)
+        if st is None or st.count == 0:
+            rows.append((t.name, t.deadline_s * 1e3, 0, "-", "-"))
+            continue
+        total += st.count
+        missed += st.miss_rate * st.count
+        rows.append(
+            (
+                t.name,
+                t.deadline_s * 1e3,
+                st.count,
+                f"{st.miss_rate * 100:.2f}",
+                "yes" if st.miss_rate <= epsilon + 1e-12 else "NO",
+            )
+        )
+    overall = missed / total if total else 0.0
+    table = format_table(
+        ["task", "deadline_ms", "requests", "miss_%", "<=eps"],
+        rows,
+        title=f"tail-violation verdict (eps={epsilon:g})",
+        float_fmt="{:.1f}",
+    )
+    verdict = "within" if overall <= epsilon + 1e-12 else "EXCEEDS"
+    return (
+        f"{table}\n"
+        f"overall realized violation: {overall * 100:.2f}% — {verdict} the "
+        f"eps={epsilon * 100:g}% tail budget"
+    )
 
 
 def _print_frame(frame: str, live: bool) -> None:
@@ -467,6 +514,113 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_risk(args: argparse.Namespace) -> int:
+    """Deterministic vs chance-constrained solve under service-time jitter."""
+    import dataclasses
+
+    from repro.core.risk import RiskConfig
+
+    cluster, tasks = build_scenario(
+        args.scenario,
+        num_tasks=args.tasks,
+        num_servers=args.servers,
+        access_mbps=args.bandwidth,
+        seed=args.seed,
+    )
+    if args.deadline_scale != 1.0:
+        tasks = [
+            dataclasses.replace(t, deadline_s=t.deadline_s * args.deadline_scale)
+            for t in tasks
+        ]
+    risk = RiskConfig(
+        epsilon=args.epsilon,
+        buffer=args.buffer,
+        service_noise=args.service_noise,
+    )
+    det = JointOptimizer(cluster).solve(tasks, seed=args.seed)
+    buf = JointOptimizer(
+        cluster, config=JointSolverConfig(risk=risk)
+    ).solve(tasks, seed=args.seed)
+    print(
+        f"solved {len(tasks)} tasks on {cluster.num_servers} servers; "
+        f"buffer={risk.buffer}, eps={risk.epsilon:g} (kappa={risk.kappa:.2f}), "
+        f"service noise sigma={risk.service_noise:g}"
+    )
+
+    sim_cfg = SimulationConfig(
+        horizon_s=args.horizon,
+        warmup_s=min(args.horizon / 5, 5.0),
+        seed=args.seed,
+        service_noise=args.service_noise,
+        epsilon=args.epsilon,
+    )
+    arms = {}
+    for arm, plan in (("deterministic", det.plan), ("buffered", buf.plan)):
+        arms[arm] = simulate_plan(tasks, plan, cluster, sim_cfg)
+
+    rows = []
+    viol = {"deterministic": [0.0, 0], "buffered": [0.0, 0]}
+    for t in tasks:
+        det_lat = det.plan.latencies[t.name]
+        buf_lat = buf.plan.latencies[t.name]
+        cert = {
+            "deterministic": det_lat <= t.deadline_s,
+            "buffered": buf_lat <= t.deadline_s,
+        }
+        miss = {}
+        for arm, rep in arms.items():
+            st = rep.per_task.get(t.name)
+            miss[arm] = st.miss_rate if st is not None and st.count else 0.0
+            if cert[arm] and st is not None:
+                viol[arm][0] += st.miss_rate * st.count
+                viol[arm][1] += st.count
+        rows.append(
+            (
+                t.name,
+                t.deadline_s * 1e3,
+                det_lat * 1e3,
+                "yes" if cert["deterministic"] else "no",
+                f"{miss['deterministic'] * 100:.2f}",
+                buf_lat * 1e3,
+                "yes" if cert["buffered"] else "no",
+                f"{miss['buffered'] * 100:.2f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["task", "deadline_ms", "det_ms", "det_cert", "det_miss%",
+             "buf_ms", "buf_cert", "buf_miss%"],
+            rows,
+            title=(
+                f"certification and realized misses "
+                f"({args.scenario}, {args.horizon:g}s jittered replay)"
+            ),
+            float_fmt="{:.1f}",
+        )
+    )
+    print()
+    for arm in ("deterministic", "buffered"):
+        m, n = viol[arm]
+        rate = m / n if n else 0.0
+        note = ""
+        if arm == "buffered":
+            ok = rate <= args.epsilon + 1e-12
+            note = (
+                f" — {'within' if ok else 'EXCEEDS'} the "
+                f"eps={args.epsilon * 100:g}% tail budget"
+            )
+        print(
+            f"{arm:>13s}: realized violation over certified tasks "
+            f"{rate * 100:.2f}% ({n} requests){note}"
+        )
+    print(
+        "\n(det_ms is the plan's mean latency; buf_ms is the buffered "
+        "mu+kappa*sigma the chance-constrained solver certifies against)"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id)
     print(result.format())
@@ -496,6 +650,11 @@ def build_parser() -> argparse.ArgumentParser:
         "device", choices=sorted(list(DEVICE_PRESETS) + list(SERVER_PRESETS))
     )
     p.add_argument("--noise", type=float, default=0.0, help="measurement jitter sigma")
+    p.add_argument(
+        "--repeats", type=int, default=1,
+        help="measurement repetitions per layer; >1 averages the draws and "
+        "records the sample variance (tightens the profiled latency_var_s2)",
+    )
     p.add_argument("--top", type=int, default=10, help="rows to show")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_profile)
@@ -589,6 +748,16 @@ def build_parser() -> argparse.ArgumentParser:
                 help="deadline-satisfaction SLO target in (0,1); prints the "
                 "burn-rate report (implies --window-s 1.0 if unset)",
             )
+            p.add_argument(
+                "--service-noise", type=float, default=0.0,
+                help="per-request service-time jitter sigma (mean-one "
+                "log-normal per pipeline stage; 0 = deterministic replay)",
+            )
+            p.add_argument(
+                "--epsilon", type=float, default=None,
+                help="tail-violation target in (0,1); prints the per-task "
+                "realized miss rate vs eps verdict table",
+            )
             p.set_defaults(fn=_cmd_simulate)
         else:  # monitor
             p.add_argument(
@@ -665,7 +834,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_chaos)
 
-    p = sub.add_parser("experiment", help="regenerate one experiment (E1-E16)")
+    p = sub.add_parser(
+        "risk",
+        help="chance-constrained solve: deterministic vs mean+kappa*sigma "
+        "buffered plan under service-time jitter, with certification and "
+        "realized tail-violation table",
+    )
+    p.add_argument("--scenario", choices=sorted(SCENARIOS), default="smart_city")
+    p.add_argument("--tasks", type=int, default=6)
+    p.add_argument("--servers", type=int, default=None)
+    p.add_argument("--bandwidth", type=float, default=None, help="access Mbps")
+    p.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="tail-violation target in (0,1): certify P[latency > deadline] "
+        "<= eps",
+    )
+    p.add_argument(
+        "--buffer", choices=["cantelli", "gaussian"], default="cantelli",
+        help="buffer rule: distribution-free Cantelli (default) or the "
+        "tighter Gaussian quantile",
+    )
+    p.add_argument(
+        "--service-noise", type=float, default=0.15,
+        help="service-time jitter sigma assumed by the solver and applied "
+        "per request in the replay",
+    )
+    p.add_argument(
+        "--deadline-scale", type=float, default=1.0,
+        help="scale scenario deadlines before solving (looser deadlines "
+        "let both arms certify)",
+    )
+    p.add_argument("--horizon", type=float, default=20.0, help="sim seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_risk)
+
+    p = sub.add_parser("experiment", help="regenerate one experiment (E1-E18)")
     p.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
     p.add_argument("--output", help="write the tables as JSON")
     p.set_defaults(fn=_cmd_experiment)

@@ -50,6 +50,7 @@ from repro.errors import ConfigError, PlanError
 from repro.telemetry.trace import traced
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.risk import RiskConfig
     from repro.profiling.counters import PerfCounters
 
 
@@ -380,6 +381,7 @@ def solution_latencies(
     latency_model: LatencyModel,
     include_queueing: bool = True,
     overload: str = "inf",
+    risk: Optional["RiskConfig"] = None,
 ) -> np.ndarray:
     """Predicted expected latency per task for a complete solution.
 
@@ -392,6 +394,10 @@ def solution_latencies(
     iterative solvers use internally so that the search keeps a gradient even
     when every reachable solution is overloaded (degrade gracefully: shed the
     most load first).
+
+    An active ``risk`` config buffers every latency to ``μ + κ(ε)·σ`` (see
+    :mod:`repro.core.risk`); ``None`` or ``buffer="none"`` leaves the
+    deterministic values bit-identical.
     """
     if overload not in ("inf", "penalty"):
         raise ConfigError(f"overload must be 'inf' or 'penalty', got {overload!r}")
@@ -409,6 +415,7 @@ def solution_latencies(
             latency_model,
             include_queueing=include_queueing,
             overload=overload,
+            risk=risk,
         )
     return out
 
@@ -425,6 +432,7 @@ def solution_latency_task(
     include_queueing: bool = True,
     overload: str = "inf",
     device=None,
+    risk: Optional["RiskConfig"] = None,
 ) -> float:
     """Predicted latency of one task — the per-task kernel of
     :func:`solution_latencies`.
@@ -433,7 +441,9 @@ def solution_latency_task(
     whose server or link groups changed after a trial move, instead of the
     whole solution.  ``x``/``y`` are the task's compute and bandwidth shares;
     ``device`` may be passed to skip the ``cluster.by_name`` lookup.
-    ``overload`` is assumed pre-validated by the caller.
+    ``overload`` is assumed pre-validated by the caller.  An active ``risk``
+    config returns the buffered latency ``μ + κ(ε)·σ``, mirroring (stage for
+    stage) the vectorized :meth:`CandidateSet._latency_stds` bound.
     """
     f = cs.features[j]
     if device is None:
@@ -444,6 +454,14 @@ def solution_latency_task(
     t_dev = f.dev_flops / r_dev + oh_d
     wait = 0.0
     rho_max = lam * t_dev
+    buffered = risk is not None and risk.active
+    sigma = 0.0
+    if buffered:
+        from repro.core.risk import stage_std
+
+        sigma = stage_std(
+            f.dev_flops / r_dev, f.dev_flops_sq / r_dev**2, oh_d, 1.0, risk.rel_var
+        )
     if include_queueing and t_dev > 0:
         # device stage: every request visits it
         s1 = t_dev
@@ -453,6 +471,10 @@ def solution_latency_task(
             + oh_d**2
         )
         wait = mg1_wait(lam, s1, max(s2, s1 * s1))
+        if buffered:
+            from repro.core.risk import wait_std
+
+            sigma += wait_std(wait, s1)
     if s is None:
         if not f.is_local_only:
             return float(np.inf)
@@ -463,7 +485,7 @@ def solution_latency_task(
                 if overload == "penalty"
                 else float(np.inf)
             )
-        return latency
+        return latency + risk.kappa * sigma if buffered else latency
     server = cluster.servers[s]
     link = cluster.link(task.device_name, server.name)
     r_srv = latency_model.throughput(server) * x
@@ -471,6 +493,20 @@ def solution_latency_task(
     t_srv = f.srv_flops / r_srv + f.p_offload * server.overhead_s
     t_link = f.wire_bytes / bw
     base = t_dev + t_srv + t_link + f.p_offload * link.rtt_s
+    if buffered:
+        from repro.core.risk import stage_std
+
+        sigma += (
+            stage_std(
+                f.srv_flops / r_srv, f.srv_flops_sq / r_srv**2,
+                server.overhead_s, f.p_offload, risk.rel_var,
+            )
+            + stage_std(
+                f.wire_bytes / bw, f.wire_bytes_sq / bw**2,
+                0.0, f.p_offload, risk.rel_var,
+            )
+            + stage_std(0.0, 0.0, link.rtt_s, f.p_offload, 0.0)
+        )
     total_wait = wait
     if include_queueing and f.p_offload > 0:
         lam_off = lam * f.p_offload
@@ -488,10 +524,17 @@ def solution_latency_task(
         w_link = mg1_wait(lam_off, l1, max(l2, l1 * l1))
         total_wait = wait + f.p_offload * (w_srv + w_link)
         rho_max = max(rho_max, lam_off * m1, lam_off * l1)
+        if buffered:
+            from repro.core.risk import wait_std
+
+            sigma += wait_std(w_srv, m1, f.p_offload) + wait_std(
+                w_link, l1, f.p_offload
+            )
+    buf = risk.kappa * sigma if buffered else 0.0
     if np.isfinite(total_wait):
-        return base + total_wait
+        return base + total_wait + buf
     if overload == "penalty":
-        return base + OVERLOAD_PENALTY_S * rho_max
+        return base + OVERLOAD_PENALTY_S * rho_max + buf
     return float(np.inf)
 
 
@@ -503,6 +546,7 @@ def assign_servers(
     latency_model: LatencyModel,
     slots_per_server: Optional[int] = None,
     share_estimate: Optional[float] = None,
+    risk: Optional["RiskConfig"] = None,
 ) -> List[Optional[int]]:
     """Initial task -> server assignment by min-cost matching.
 
@@ -510,7 +554,9 @@ def assign_servers(
     equal-share estimate; each task also gets a private "run locally" column
     priced at its best local-only latency (``inf`` if it has none).  Servers
     are replicated into ``slots_per_server`` columns (default: enough for all
-    tasks to fit, +1 slack) so load spreads before share refinement.
+    tasks to fit, +1 slack) so load spreads before share refinement.  An
+    active ``risk`` config prices columns by buffered ``μ + κσ`` latencies so
+    the matching already prefers low-variance placements.
     """
     n, m = len(tasks), cluster.num_servers
     if n == 0:
@@ -534,12 +580,13 @@ def assign_servers(
                 link=link,
                 compute_share=share_estimate,
                 bandwidth_share=share_estimate,
+                risk=risk,
             )
             best = float(np.min(lat))
             for k in range(slots_per_server):
                 cost[i, s * slots_per_server + k] = best
         # private local column
-        local_lat = candsets[i].latencies(device, latency_model)
+        local_lat = candsets[i].latencies(device, latency_model, risk=risk)
         cost[i, m * slots_per_server + i] = float(np.min(local_lat))
 
     # linear_sum_assignment rejects inf rows; replace with a huge finite cost

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.devices.device import DeviceSpec
 from repro.devices.latency import LatencyModel
 from repro.errors import InfeasibleError, PlanError
 from repro.network.link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.risk import RiskConfig
 
 #: Parallel-array attributes of :class:`CandidateSet`, in construction order.
 #: Derived sets are produced by slicing these (see :meth:`CandidateSet._take`)
@@ -215,6 +218,7 @@ class CandidateSet:
         bandwidth_share: float = 1.0,
         server_wait_s: float = 0.0,
         arrival_rate: Optional[float] = None,
+        risk: Optional["RiskConfig"] = None,
     ) -> np.ndarray:
         """Expected latency of every candidate under one allocation.
 
@@ -224,6 +228,12 @@ class CandidateSet:
         model as :func:`repro.core.allocation.solution_latencies`), so the
         surgery step can reject plans whose bottleneck stage cannot sustain
         the task's stream (those come back ``inf``).
+
+        With an active ``risk`` config the returned values are *buffered*
+        latencies ``μ + κ(ε)·σ`` (see :mod:`repro.core.risk`), so ranking
+        candidates by this vector certifies ``P[latency ≤ deadline] ≥ 1−ε``
+        rather than ``E[latency] ≤ deadline``; an inactive or absent risk
+        config leaves the deterministic path bit-identical.
         """
         r_dev = latency_model.throughput(device)
         if server is None:
@@ -252,6 +262,11 @@ class CandidateSet:
             t = t + self._queue_waits(
                 arrival_rate, device, latency_model, server, link,
                 compute_share, bandwidth_share,
+            )
+        if risk is not None and risk.active:
+            t = t + risk.kappa * self._latency_stds(
+                device, latency_model, server, link,
+                compute_share, bandwidth_share, arrival_rate, risk,
             )
         return t
 
@@ -309,6 +324,75 @@ class CandidateSet:
             wait = wait + p * (w_srv + w_link)
             rho_max = np.maximum(rho_max, np.maximum(lam * p * m1, lam * p * l1))
         return np.where(np.isfinite(wait), wait, self.OVERLOAD_PENALTY_S * rho_max)
+
+    def _latency_stds(
+        self,
+        device: DeviceSpec,
+        latency_model: LatencyModel,
+        server: Optional[DeviceSpec],
+        link: Optional[Link],
+        compute_share: float,
+        bandwidth_share: float,
+        arrival_rate: Optional[float],
+        risk: "RiskConfig",
+    ) -> np.ndarray:
+        """Per-candidate latency-std upper bound σ (buffered-mode only).
+
+        Sub-additive sum of per-stage stds (exit-mix second moments +
+        multiplicative service jitter, :func:`repro.core.risk.stage_std`)
+        plus the queueing-delay surrogates (:func:`repro.core.risk.wait_std`)
+        when ``arrival_rate`` is given — mirroring, stage for stage, the
+        mean terms this set's :meth:`latencies` accumulates.  Only entered
+        when the risk config is active, so the deterministic path never pays
+        for it.
+        """
+        from repro.core.queueing import mg1_wait_vec
+        from repro.core.risk import stage_std, wait_std
+
+        rv = risk.rel_var
+        r_dev = latency_model.throughput(device)
+        oh_d = np.where(self.dev_flops > 0, device.overhead_s, 0.0)
+        w_dev = self.dev_flops / r_dev
+        w2_dev = self.dev_flops_sq / r_dev**2
+        sigma = stage_std(w_dev, w2_dev, oh_d, 1.0, rv)
+        lam = arrival_rate
+        if lam is not None:
+            s1 = w_dev + oh_d
+            s2 = w2_dev + 2 * oh_d * w_dev + oh_d**2
+            dev_wait = np.where(
+                s1 > 0,
+                mg1_wait_vec(np.full_like(s1, lam), s1, np.maximum(s2, s1 * s1)),
+                0.0,
+            )
+            sigma = sigma + wait_std(dev_wait, s1)
+        if server is not None and link is not None:
+            p = self.p_offload
+            r_srv = latency_model.throughput(server) * compute_share
+            bw = link.bandwidth_bps * bandwidth_share
+            w_srv = self.srv_flops / r_srv
+            w_wire = self.wire_bytes / bw
+            sigma = (
+                sigma
+                + stage_std(w_srv, self.srv_flops_sq / r_srv**2, server.overhead_s, p, rv)
+                + stage_std(w_wire, self.wire_bytes_sq / bw**2, 0.0, p, rv)
+                + stage_std(0.0, 0.0, link.rtt_s, p, 0.0)
+            )
+            if lam is not None:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    m1 = np.where(p > 0, (w_srv / p) + server.overhead_s, 0.0)
+                    m2 = np.where(
+                        p > 0,
+                        (self.srv_flops_sq / p) / r_srv**2
+                        + 2 * server.overhead_s * (w_srv / p)
+                        + server.overhead_s**2,
+                        0.0,
+                    )
+                    l1 = np.where(p > 0, w_wire / p, 0.0)
+                    l2 = np.where(p > 0, (self.wire_bytes_sq / p) / bw**2, 0.0)
+                srv_wait = mg1_wait_vec(lam * p, m1, np.maximum(m2, m1 * m1))
+                link_wait = mg1_wait_vec(lam * p, l1, np.maximum(l2, l1 * l1))
+                sigma = sigma + wait_std(srv_wait, m1, p) + wait_std(link_wait, l1, p)
+        return sigma
 
     def best(
         self,

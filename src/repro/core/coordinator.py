@@ -395,6 +395,7 @@ def solve_sharded(
             jp = package_plan(
                 tasks, candsets, plan_idx, alloc, cluster, lm, objective,
                 include_queueing=cfg.include_queueing, counters=perf,
+                risk=cfg.risk,
             )
         perf.solve_s = time.perf_counter() - t_start
         return ShardedResult(
@@ -537,6 +538,7 @@ def _global_objective(
     lat = solution_latencies(
         tasks, candsets, plan_idx, alloc, cluster, lm,
         include_queueing=cfg.include_queueing, overload="penalty",
+        risk=cfg.risk,
     )
     counters.latency_evals += len(tasks)
     return objective.evaluate(lat, tasks), lat
@@ -626,6 +628,7 @@ def _migration_round(
             compute_share=float(prov.compute_shares[i]),
             bandwidth_share=float(prov.bandwidth_shares[i]),
             arrival_rate=rate,
+            risk=cfg.risk,
         )
         counters.candidate_evals += 1
         j = int(np.argmin(lat_vec))
@@ -654,6 +657,7 @@ def _migration_round(
                 lm,
                 include_queueing=cfg.include_queueing,
                 overload="penalty",
+                risk=cfg.risk,
             )
         counters.latency_evals += len(affected)
         trial_obj = objective.evaluate(trial_lat, tasks)
@@ -799,6 +803,7 @@ def _migration_round_fast(
             compute_share=float(prov.compute_shares[i]),
             bandwidth_share=float(prov.bandwidth_shares[i]),
             arrival_rate=rate,
+            risk=cfg.risk,
         )
         counters.candidate_evals += 1
         j = int(np.argmin(lat_vec))
@@ -832,6 +837,7 @@ def _migration_round_fast(
                 lm,
                 include_queueing=cfg.include_queueing,
                 overload="penalty",
+                risk=cfg.risk,
             )
         counters.latency_evals += len(affected)
         trial_obj = state.evaluate(trial_lat, tasks)
@@ -1019,6 +1025,7 @@ def resolve_dirty(
         jp = package_plan(
             tasks, out_sets, plan_idx, alloc, cluster, lm, objective,
             include_queueing=cfg.include_queueing, counters=perf,
+            risk=cfg.risk,
         )
 
         stats_by_shard = {st.shard: st for st in prior.shard_stats}

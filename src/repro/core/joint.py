@@ -55,6 +55,7 @@ from repro.core.candidates import (
 )
 from repro.core.objectives import Objective
 from repro.core.plan import JointPlan, TaskSpec
+from repro.core.risk import RiskConfig
 from repro.devices.cluster import EdgeCluster
 from repro.devices.latency import LatencyModel
 from repro.errors import ConfigError, ConvergenceError
@@ -73,13 +74,16 @@ def package_plan(
     objective: Objective,
     include_queueing: bool = True,
     counters: Optional[PerfCounters] = None,
+    risk: Optional[RiskConfig] = None,
 ) -> JointPlan:
     """Package a solver state into a :class:`~repro.core.plan.JointPlan`.
 
     Reports *honest* latencies and objective — ``inf`` for queue-unstable
     tasks — regardless of the graded overload surrogate the search used
     internally.  Shared by the centralized solver and the sharded
-    coordinator so both package identically.
+    coordinator so both package identically.  An active ``risk`` config makes
+    the packaged latencies the buffered ``μ + κ(ε)·σ`` values, so a plan
+    whose latencies meet the deadlines is *certified* at tail level ``ε``.
     """
     lat = solution_latencies(
         tasks,
@@ -89,6 +93,7 @@ def package_plan(
         cluster,
         latency_model,
         include_queueing=include_queueing,
+        risk=risk,
     )
     if counters is not None:
         counters.latency_evals += len(tasks)
@@ -145,6 +150,10 @@ class JointSolverConfig:
     migration_hysteresis: float = 1e-3  # relative gain a migration must beat
     affinity: str = "sparse"  # index build mode ("sparse" | "dense" fallback)
     nested_shards: int = 0  # >1: each shard re-shards its view (regions->racks)
+    # chance-constrained mode: buffer every latency the solver sees to
+    # μ + κ(ε)·σ (see repro.core.risk).  None (or buffer="none") keeps the
+    # deterministic solver bit-identical.
+    risk: Optional[RiskConfig] = None
 
     def __post_init__(self) -> None:
         from repro.core.sharding import AFFINITY_MODES, SHARD_STRATEGIES
@@ -403,7 +412,9 @@ class JointOptimizer:
         n = len(tasks)
         inc = ctx.allocator
         with tracer.span("solve.descend.init"):
-            assignment = assign_servers(tasks, candsets, self.cluster, self.latency_model)
+            assignment = assign_servers(
+                tasks, candsets, self.cluster, self.latency_model, risk=cfg.risk
+            )
             if perturb:
                 # randomize a third of the assignments across servers/local
                 m = self.cluster.num_servers
@@ -436,7 +447,8 @@ class JointOptimizer:
             if it % cfg.reassign_every == 0:
                 with tracer.span("solve.descend.reassign", {"iteration": it} if tracer.enabled else None):
                     cand_assignment = assign_servers(
-                        tasks, candsets, self.cluster, self.latency_model
+                        tasks, candsets, self.cluster, self.latency_model,
+                        risk=cfg.risk,
                     )
                     cand_alloc = inc.solve(plan_idx, cand_assignment, counters)
                     cand_obj = self._objective(tasks, candsets, plan_idx, cand_alloc, counters)
@@ -564,6 +576,7 @@ class JointOptimizer:
         base_lat = solution_latencies(
             tasks, candsets, plan_idx, alloc, self.cluster, self.latency_model,
             include_queueing=cfg.include_queueing, overload="penalty",
+            risk=cfg.risk,
         )
         counters.latency_evals += len(tasks)
         for i, task in enumerate(tasks):
@@ -582,7 +595,8 @@ class JointOptimizer:
                 prov = inc.update(alloc, plan_idx, trial_assign, (i,), counters)
                 if option is None:
                     lat = candsets[i].latencies(
-                        device, self.latency_model, arrival_rate=rate
+                        device, self.latency_model, arrival_rate=rate,
+                        risk=cfg.risk,
                     )
                 else:
                     server = self.cluster.servers[option]
@@ -595,6 +609,7 @@ class JointOptimizer:
                         compute_share=float(prov.compute_shares[i]),
                         bandwidth_share=float(prov.bandwidth_shares[i]),
                         arrival_rate=rate,
+                        risk=cfg.risk,
                     )
                 counters.candidate_evals += 1
                 j = int(np.argmin(lat))
@@ -626,6 +641,7 @@ class JointOptimizer:
                         include_queueing=cfg.include_queueing,
                         overload="penalty",
                         device=ctx.devices[t_i],
+                        risk=cfg.risk,
                     )
                 counters.latency_evals += len(affected)
                 trial_obj = self.objective.evaluate(trial_lat, tasks)
@@ -651,7 +667,8 @@ class JointOptimizer:
             s = alloc.assignment[i]
             if s is None:
                 lat = candsets[i].latencies(
-                    device, self.latency_model, arrival_rate=rate(task)
+                    device, self.latency_model, arrival_rate=rate(task),
+                    risk=self.config.risk,
                 )
             else:
                 server = self.cluster.servers[s]
@@ -664,6 +681,7 @@ class JointOptimizer:
                     compute_share=float(alloc.compute_shares[i]),
                     bandwidth_share=float(alloc.bandwidth_shares[i]),
                     arrival_rate=rate(task),
+                    risk=self.config.risk,
                 )
             counters.candidate_evals += 1
             out.append(int(np.argmin(lat)))
@@ -689,6 +707,7 @@ class JointOptimizer:
             self.latency_model,
             include_queueing=self.config.include_queueing,
             overload="penalty",
+            risk=self.config.risk,
         )
         if counters is not None:
             counters.latency_evals += len(tasks)
@@ -715,4 +734,5 @@ class JointOptimizer:
             self.objective,
             include_queueing=self.config.include_queueing,
             counters=counters,
+            risk=self.config.risk,
         )

@@ -30,6 +30,8 @@ class Objective(str, Enum):
     def evaluate(self, latencies: np.ndarray, tasks: Sequence[TaskSpec]) -> float:
         """Scalar objective value; ``inf`` propagates from infeasible tasks."""
         lat = np.asarray(latencies, dtype=float)
+        if len(tasks) == 0:
+            raise ConfigError("cannot evaluate an objective over zero tasks")
         if lat.shape != (len(tasks),):
             raise ConfigError(
                 f"latencies shape {lat.shape} != number of tasks {len(tasks)}"
@@ -62,7 +64,17 @@ class Objective(str, Enum):
 
 
 def deadline_miss_fraction(latencies: np.ndarray, tasks: Sequence[TaskSpec]) -> float:
-    """Plain miss fraction (no tie-break term), for reporting."""
+    """Plain miss fraction (no tie-break term), for reporting.
+
+    An empty task list misses nothing: returns 0.0 (unlike
+    :meth:`Objective.evaluate`, which refuses to score zero tasks).
+    """
     lat = np.asarray(latencies, dtype=float)
+    if len(tasks) == 0:
+        return 0.0
+    if lat.shape != (len(tasks),):
+        raise ConfigError(
+            f"latencies shape {lat.shape} != number of tasks {len(tasks)}"
+        )
     deadlines = np.array([t.deadline_s for t in tasks])
     return float(np.mean(lat > deadlines))

@@ -29,6 +29,7 @@ from repro.experiments import (
     e15_admission,
     e16_resilience,
     e17_control_plane,
+    e18_risk,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E15": e15_admission.run,
     "E16": e16_resilience.run,
     "E17": e17_control_plane.run,
+    "E18": e18_risk.run,
     # ablations of design choices (DESIGN.md §6-§7)
     "A1": a01_candidate_budget.run,
     "A2": a02_quantization.run,

@@ -43,7 +43,7 @@ from repro.models.multiexit import MultiExitModel
 from repro.rng import derive, derive_from, derive_material
 from repro.sim.engine import Simulator
 from repro.sim.entities import Request, RequestRecord
-from repro.sim.execution import realize_request
+from repro.sim.execution import jitter_demand, jitter_materials, realize_request
 from repro.sim.metrics import MetricsCollector, SimCounters, SimulationReport
 from repro.sim.queues import FifoResource, LinkResource
 from repro.sim.sources import arrival_times
@@ -195,6 +195,11 @@ def simulate_with_faults(
     injector.arm(sim)
 
     exec_material = {t.name: derive_material(cfg.seed, "exec", t.name) for t in tasks}
+    jitter_mats = (
+        {t.name: jitter_materials(cfg.seed, t.name) for t in tasks}
+        if cfg.service_noise > 0
+        else None
+    )
     detection_s = policy.detection_delay_s if policy is not None else 0.0
 
     # -- request lifecycle ----------------------------------------------------
@@ -212,6 +217,10 @@ def simulate_with_faults(
         feats = active.features[task.name]
         rng = derive_from(exec_material[task.name], req.req_id)
         demand = realize_request(task.model, feats.plan, req.difficulty, rng, metrics=reg)
+        if jitter_mats is not None:
+            demand = jitter_demand(
+                demand, jitter_mats[task.name], req.req_id, cfg.service_noise
+            )
         dres = device_res[task.device_name]
         profile = degrade_profiles[k][task.name]
         routes = route_sets[k].get(task.name)

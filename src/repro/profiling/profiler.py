@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from typing import Optional
+
+import numpy as np
 
 from repro.devices.device import DeviceSpec
 from repro.devices.latency import LatencyModel, layer_class_of
+from repro.errors import ProfileError
 from repro.models.graph import ModelGraph
 from repro.profiling.tables import LayerProfile, ProfileTable
 from repro.rng import SeedLike, as_generator
@@ -17,13 +21,25 @@ def profile_model(
     latency_model: Optional[LatencyModel] = None,
     noise: float = 0.0,
     seed: SeedLike = None,
+    repeats: int = 1,
 ) -> ProfileTable:
     """Produce the per-layer latency table of ``model`` on ``device``.
 
     ``noise`` adds multiplicative log-normal measurement jitter (sigma as a
     fraction, e.g. 0.05 for ~5%) — profiles on real hardware are never exact,
     and downstream regression code should cope.
+
+    Each row also carries the service-time variance ``latency_var_s2``.
+    With ``repeats=1`` (the default single measurement, draws unchanged from
+    earlier releases) the variance is the analytic one of the log-normal
+    jitter model, ``t²·e^{σ²}·(e^{σ²} − 1)``; with ``repeats > 1`` the
+    profiler takes that many independent noisy measurements per layer and
+    reports their mean and unbiased sample variance — the
+    repeated-measurement path a real-hardware harness would use.  Noise-free
+    profiles have zero variance either way.
     """
+    if repeats < 1:
+        raise ProfileError(f"repeats must be >= 1, got {repeats}")
     lm = latency_model or LatencyModel()
     rng = as_generator(seed) if noise > 0 else None
     rows = []
@@ -31,8 +47,18 @@ def profile_model(
         layer = model.layer(name)
         flops = model.flops_of(name)
         t = lm.layer_time(layer, flops, device)
+        var = 0.0
         if rng is not None and t > 0:
-            t *= float(rng.lognormal(mean=0.0, sigma=noise))
+            if repeats > 1:
+                samples = t * rng.lognormal(mean=0.0, sigma=noise, size=repeats)
+                var = float(np.var(samples, ddof=1))
+                t = float(samples.mean())
+            else:
+                # one draw cannot estimate spread; report the model's analytic
+                # variance around the nominal time instead
+                e = math.exp(noise**2)
+                var = t * t * e * (e - 1.0)
+                t *= float(rng.lognormal(mean=0.0, sigma=noise))
         rows.append(
             LayerProfile(
                 layer_name=name,
@@ -41,6 +67,7 @@ def profile_model(
                 flops=flops,
                 output_bytes=model.output_bytes_of(name),
                 latency_s=t,
+                latency_var_s2=var,
             )
         )
     return ProfileTable(model_name=model.name, device_name=device.name, rows=rows)

@@ -9,7 +9,7 @@ latencies for small layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 import numpy as np
@@ -20,16 +20,32 @@ from repro.profiling.tables import ProfileTable
 
 @dataclass(frozen=True)
 class LatencyRegression:
-    """Per-class linear latency predictors ``a * flops + b``."""
+    """Per-class linear latency predictors ``a * flops + b``.
+
+    ``rel_std`` carries one relative service-time spread per class
+    (``sqrt(Σ var) / Σ mean`` over the class's rows, 0.0 for deterministic
+    profiles), so variance extrapolates alongside the mean:
+    :meth:`predict_std` scales the predicted mean by the class's measured
+    coefficient of variation.
+    """
 
     coefficients: Dict[str, Tuple[float, float]]  # class -> (a, b)
     r2: Dict[str, float]
+    rel_std: Dict[str, float] = field(default_factory=dict)
 
     def predict(self, layer_class: str, flops: float) -> float:
         if layer_class not in self.coefficients:
             raise ProfileError(f"no regression for layer class {layer_class!r}")
         a, b = self.coefficients[layer_class]
         return max(0.0, a * flops + b)
+
+    def predict_std(self, layer_class: str, flops: float) -> float:
+        """Predicted service-time std of one layer (seconds)."""
+        return self.predict(layer_class, flops) * self.rel_std.get(layer_class, 0.0)
+
+    def predict_var(self, layer_class: str, flops: float) -> float:
+        """Predicted service-time variance of one layer (seconds²)."""
+        return self.predict_std(layer_class, flops) ** 2
 
 
 def fit_latency_regression(table: ProfileTable) -> LatencyRegression:
@@ -41,14 +57,20 @@ def fit_latency_regression(table: ProfileTable) -> LatencyRegression:
     groups: Dict[str, list] = {}
     for r in table.rows:
         if r.flops > 0:
-            groups.setdefault(r.layer_class, []).append((r.flops, r.latency_s))
+            groups.setdefault(r.layer_class, []).append(
+                (r.flops, r.latency_s, r.latency_var_s2)
+            )
     if not groups:
         raise ProfileError(f"profile {table.model_name} has no nonzero-FLOPs rows")
     coeffs: Dict[str, Tuple[float, float]] = {}
     r2: Dict[str, float] = {}
+    rel_std: Dict[str, float] = {}
     for cls, pts in groups.items():
         x = np.array([p[0] for p in pts], dtype=float)
         y = np.array([p[1] for p in pts], dtype=float)
+        v = np.array([p[2] for p in pts], dtype=float)
+        y_total = float(y.sum())
+        rel_std[cls] = float(np.sqrt(v.sum()) / y_total) if y_total > 0 else 0.0
         if x.size == 1 or np.allclose(x, x[0]):
             a = float(y.mean() / x.mean())
             b = 0.0
@@ -61,4 +83,4 @@ def fit_latency_regression(table: ProfileTable) -> LatencyRegression:
         ss_tot = float(np.sum((y - y.mean()) ** 2))
         coeffs[cls] = (a, b)
         r2[cls] = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
-    return LatencyRegression(coefficients=coeffs, r2=r2)
+    return LatencyRegression(coefficients=coeffs, r2=r2, rel_std=rel_std)

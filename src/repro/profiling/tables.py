@@ -12,7 +12,12 @@ from repro.errors import ProfileError
 
 @dataclass(frozen=True)
 class LayerProfile:
-    """One row of a per-layer profile: cost and measured latency."""
+    """One row of a per-layer profile: cost and measured latency.
+
+    ``latency_var_s2`` is the service-time variance of the measurement
+    (seconds², 0.0 for deterministic profiles) — the raw material of the
+    chance-constrained solver's ``μ + κσ`` buffers.
+    """
 
     layer_name: str
     layer_type: str
@@ -20,10 +25,13 @@ class LayerProfile:
     flops: int
     output_bytes: int
     latency_s: float
+    latency_var_s2: float = 0.0
 
     def __post_init__(self) -> None:
         if self.flops < 0 or self.output_bytes < 0 or self.latency_s < 0:
             raise ProfileError(f"negative profile entry for {self.layer_name}")
+        if self.latency_var_s2 < 0:
+            raise ProfileError(f"negative latency variance for {self.layer_name}")
 
 
 @dataclass
@@ -48,8 +56,16 @@ class ProfileTable:
     def total_flops(self) -> int:
         return int(sum(r.flops for r in self.rows))
 
+    @property
+    def total_latency_var_s2(self) -> float:
+        """Variance of the end-to-end latency (layers measured independently)."""
+        return float(sum(r.latency_var_s2 for r in self.rows))
+
     def latencies(self) -> np.ndarray:
         return np.array([r.latency_s for r in self.rows])
+
+    def latency_vars(self) -> np.ndarray:
+        return np.array([r.latency_var_s2 for r in self.rows])
 
     def flops(self) -> np.ndarray:
         return np.array([r.flops for r in self.rows], dtype=float)

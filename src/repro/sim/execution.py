@@ -12,15 +12,74 @@ realized demands over the difficulty distribution reproduces the plan's
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import dataclasses
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.plan import SurgeryPlan
 from repro.models.exits import GATE_SHARPNESS, difficulty_cutoffs
 from repro.models.multiexit import MultiExitModel
+from repro.rng import derive_material
+from repro.rng_vec import first_uniforms
 from repro.sim.entities import RequestDemand
 from repro.telemetry.metrics import MetricsRegistry
+
+#: Jittered pipeline stages, in submission order.  Each (task, stage) pair
+#: owns one derived RNG material; request ``req_id`` draws its per-stage
+#: factors counter-style from those materials, so the scalar event loop and
+#: the vectorized sweep produce bit-identical draws in any evaluation order.
+JITTER_STAGES = ("dev", "srv", "up", "down")
+
+
+def jitter_materials(seed: int, task_name: str) -> Dict[str, List[int]]:
+    """Per-stage child-seed materials for one task's service-time jitter."""
+    return {
+        st: derive_material(seed, "jitter", task_name, st) for st in JITTER_STAGES
+    }
+
+
+def jitter_factors(
+    material: List[int], req_ids: np.ndarray, sigma: float
+) -> np.ndarray:
+    """Mean-one log-normal jitter factors for a batch of request ids.
+
+    Factor ``exp(σ·Φ⁻¹(u) − σ²/2)`` where ``u`` is the request's first
+    uniform on the stage's derived stream — multiplicative noise with
+    ``E[factor] = 1``, so jittered demands stay centred on the optimizer's
+    expectations and ``log`` relative spread matches the solver's
+    ``service_noise`` σ exactly.
+    """
+    from scipy.special import ndtri
+
+    u = first_uniforms(material, np.asarray(req_ids))
+    return np.exp(sigma * ndtri(u) - 0.5 * sigma * sigma)
+
+
+def jitter_demand(
+    demand: RequestDemand,
+    materials: Dict[str, List[int]],
+    req_id: int,
+    sigma: float,
+) -> RequestDemand:
+    """Scalar counterpart of :func:`jitter_factors`: jitter one request.
+
+    Scales the four demand columns by their per-stage factors; each factor
+    is the one-element batch draw, so event-loop runs match the vectorized
+    sweep bit for bit.
+    """
+    ids = np.array([req_id])
+    f = {
+        st: float(jitter_factors(materials[st], ids, sigma)[0])
+        for st in JITTER_STAGES
+    }
+    return dataclasses.replace(
+        demand,
+        dev_flops=demand.dev_flops * f["dev"],
+        srv_flops=demand.srv_flops * f["srv"],
+        up_bytes=demand.up_bytes * f["up"],
+        down_bytes=demand.down_bytes * f["down"],
+    )
 
 
 def sample_exit(

@@ -45,7 +45,7 @@ from repro.errors import SimulationError
 from repro.rng import derive, derive_material
 from repro.rng_vec import first_uniforms
 from repro.sim.entities import RequestRecord
-from repro.sim.execution import RealizationTable
+from repro.sim.execution import RealizationTable, jitter_factors, jitter_materials
 from repro.sim.metrics import SimCounters, StreamingStats
 from repro.sim.queues import FifoResource, LinkResource
 from repro.sim.sources import arrival_stream, arrival_times
@@ -94,6 +94,16 @@ class _TaskStream:
         self.srv_flops = table.srv_flops[pos]
         self.up_bytes = table.up_bytes[pos]
         self.down_bytes = table.down_bytes[pos]
+        sigma = getattr(cfg, "service_noise", 0.0)
+        if sigma > 0:
+            # per-(task, stage) counter-based draws — the same factors the
+            # event loop applies per request via jitter_demand
+            mats = jitter_materials(cfg.seed, task.name)
+            ids = np.arange(n)
+            self.dev_flops = self.dev_flops * jitter_factors(mats["dev"], ids, sigma)
+            self.srv_flops = self.srv_flops * jitter_factors(mats["srv"], ids, sigma)
+            self.up_bytes = self.up_bytes * jitter_factors(mats["up"], ids, sigma)
+            self.down_bytes = self.down_bytes * jitter_factors(mats["down"], ids, sigma)
 
         self.dev_start = np.empty(n)
         self.dev_done = np.empty(n)
@@ -398,6 +408,7 @@ class _ChunkedTaskStream:
     __slots__ = (
         "task", "table", "arrivals", "diff_rng", "exec_material",
         "generated", "offloaded_total", "up_buf", "srv_buf", "down_buf",
+        "sigma", "jitter_mats",
     )
 
     def __init__(self, task: TaskSpec, plan: JointPlan, cfg) -> None:
@@ -417,6 +428,10 @@ class _ChunkedTaskStream:
         self.up_buf = _StageBuffer()
         self.srv_buf = _StageBuffer()
         self.down_buf = _StageBuffer()
+        self.sigma = getattr(cfg, "service_noise", 0.0)
+        self.jitter_mats = (
+            jitter_materials(cfg.seed, task.name) if self.sigma > 0 else None
+        )
 
     def realize(self, t_end: float) -> Dict[str, np.ndarray]:
         """Realize the requests arriving in the current window."""
@@ -431,6 +446,25 @@ class _ChunkedTaskStream:
         self.generated += m
         offloaded = self.table.offloaded[pos]
         self.offloaded_total += int(np.count_nonzero(offloaded))
+        dev_flops = self.table.dev_flops[pos]
+        srv_flops = self.table.srv_flops[pos]
+        up_bytes = self.table.up_bytes[pos]
+        down_bytes = self.table.down_bytes[pos]
+        if self.jitter_mats is not None:
+            # counter-based draws addressed by request id: identical to the
+            # one-shot sweep's arange(n) batch regardless of window splits
+            dev_flops = dev_flops * jitter_factors(
+                self.jitter_mats["dev"], req_id, self.sigma
+            )
+            srv_flops = srv_flops * jitter_factors(
+                self.jitter_mats["srv"], req_id, self.sigma
+            )
+            up_bytes = up_bytes * jitter_factors(
+                self.jitter_mats["up"], req_id, self.sigma
+            )
+            down_bytes = down_bytes * jitter_factors(
+                self.jitter_mats["down"], req_id, self.sigma
+            )
         return {
             "req_id": req_id,
             "arrival": arrival.astype(np.float64),
@@ -438,10 +472,10 @@ class _ChunkedTaskStream:
             "positions": pos,
             "offloaded": offloaded,
             "correct": uniforms < self.table.p_correct(pos, difficulties),
-            "dev_flops": self.table.dev_flops[pos],
-            "srv_flops": self.table.srv_flops[pos],
-            "up_bytes": self.table.up_bytes[pos],
-            "down_bytes": self.table.down_bytes[pos],
+            "dev_flops": dev_flops,
+            "srv_flops": srv_flops,
+            "up_bytes": up_bytes,
+            "down_bytes": down_bytes,
         }
 
 

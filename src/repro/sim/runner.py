@@ -50,7 +50,7 @@ from repro.network.wireless import BandwidthTrace
 from repro.rng import derive, derive_from, derive_material, derive_seed
 from repro.sim.engine import Simulator
 from repro.sim.entities import Request, RequestRecord
-from repro.sim.execution import realize_request
+from repro.sim.execution import jitter_demand, jitter_materials, realize_request
 from repro.sim.fastpath import sweep_pipeline, sweep_pipeline_streaming
 from repro.sim.metrics import (
     MetricsCollector,
@@ -122,8 +122,21 @@ class SimulationConfig:
     #: thinning across many cells can legitimately leave one cell silent
     #: within the horizon; the fan-out re-checks the *merged* total
     allow_empty: bool = False
+    #: log-σ of per-request multiplicative service-time jitter (mean-one
+    #: log-normal, drawn per pipeline stage from counter-based streams — see
+    #: :func:`repro.sim.execution.jitter_factors`).  0.0 (default) draws
+    #: nothing and every engine stays bit-identical to a jitter-free run.
+    service_noise: float = 0.0
+    #: target tail-violation level ε this run is judged against (reporting
+    #: only — the simulator does not change behaviour; the CLI and E18 use
+    #: it to compare realized per-task violation rates to the target)
+    epsilon: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.service_noise < 0:
+            raise ConfigError("service_noise must be >= 0")
+        if self.epsilon is not None and not (0.0 < self.epsilon < 1.0):
+            raise ConfigError(f"epsilon must lie in (0, 1), got {self.epsilon}")
         if self.horizon_s <= 0:
             raise ConfigError("horizon must be positive")
         if not (0 <= self.warmup_s < self.horizon_s):
@@ -329,6 +342,11 @@ def simulate_plan(
     # per-task child-seed prefix, cached so each request extends it with its
     # id instead of re-hashing the task tokens (identical derived streams)
     exec_material = {t.name: derive_material(cfg.seed, "exec", t.name) for t in tasks}
+    jitter_mats = (
+        {t.name: jitter_materials(cfg.seed, t.name) for t in tasks}
+        if cfg.service_noise > 0
+        else None
+    )
 
     # -- request lifecycle -------------------------------------------------------
     def launch(task: TaskSpec, req: Request) -> None:
@@ -336,6 +354,10 @@ def simulate_plan(
         feats = plan.features[task.name]
         rng = derive_from(exec_material[task.name], req.req_id)
         demand = realize_request(model, feats.plan, req.difficulty, rng, metrics=reg)
+        if jitter_mats is not None:
+            demand = jitter_demand(
+                demand, jitter_mats[task.name], req.req_id, cfg.service_noise
+            )
         dres = device_res[task.device_name]
 
         def finish(completion: float, dev_busy: float, srv_busy: float, net_busy: float) -> None:

@@ -62,3 +62,14 @@ class TestValidation:
 
     def test_miss_fraction_reporting(self, tasks):
         assert deadline_miss_fraction(np.array([0.15, 0.1]), tasks) == pytest.approx(0.5)
+
+    def test_evaluate_empty_tasks_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective.AVG_LATENCY.evaluate(np.array([]), [])
+
+    def test_miss_fraction_empty_tasks_is_zero(self):
+        assert deadline_miss_fraction(np.array([]), []) == 0.0
+
+    def test_miss_fraction_shape_mismatch(self, tasks):
+        with pytest.raises(ConfigError):
+            deadline_miss_fraction(np.array([0.1]), tasks)

@@ -13,8 +13,8 @@ from repro.experiments import EXPERIMENTS, run_experiment
 
 
 class TestRegistry:
-    def test_all_sixteen_plus_ablations_registered(self):
-        assert {f"E{i}" for i in range(1, 17)} <= set(EXPERIMENTS)
+    def test_all_eighteen_plus_ablations_registered(self):
+        assert {f"E{i}" for i in range(1, 19)} <= set(EXPERIMENTS)
         assert {f"A{i}" for i in range(1, 5)} <= set(EXPERIMENTS)
 
     def test_unknown_id_raises(self):
@@ -101,10 +101,32 @@ class TestE16:
         r = run_experiment("E16", num_tasks=4, horizon_s=8.0)
         by_mode = {row[0]: row for row in r.rows}
         assert set(by_mode) == {"static", "failover", "failover+repair"}
-        static_lost = by_mode["static"][5]
+        lost = r.headers.index("lost")
+        static_lost = by_mode["static"][lost]
         assert static_lost > 0
-        assert by_mode["failover"][5] == 0
+        assert by_mode["failover"][lost] == 0
+        # the tail columns ride along: p999 >= p99, p99_sat is "k/n"
+        p99 = r.headers.index("p99_ms")
+        p999 = r.headers.index("p999_ms")
+        for row in r.rows:
+            assert row[p999] >= row[p99]
+        assert by_mode["static"][r.headers.index("p99_sat")].endswith("/4")
         counters = r.extras["counters"]
         assert counters["failover"]["retries"] + counters["failover"]["failovers"] > 0
         assert r.extras["crashed_server"]
         assert "resilience" in r.title
+
+
+class TestE18:
+    def test_calibration_on_reduced_horizon(self):
+        r = run_experiment(
+            "E18", num_tasks=4, epsilons=(0.05,), load_scales=(0.6, 1.2),
+            horizon_s=10.0, warmup_s=1.0,
+        )
+        assert len(r.rows) == 2
+        assert r.extras["calibration_ok"]
+        for cell in r.extras["cells"]:
+            assert cell["buffered_violation"] <= cell["epsilon"] + 1e-12
+            # buffered certification is (weakly) more selective than mean-based
+            assert cell["buffered_certified"] <= cell["deterministic_certified"]
+        assert "chance-constrained" in r.title

@@ -52,3 +52,24 @@ class TestFit:
         rows = [LayerProfile("a", "Flatten", "memory", flops=0, output_bytes=4, latency_s=0.0)]
         with pytest.raises(ProfileError):
             fit_latency_regression(ProfileTable("m", "d", rows))
+
+
+class TestRelStd:
+    def test_noise_free_rel_std_zero(self, tiny_model, pi4):
+        reg = fit_latency_regression(profile_model(tiny_model, pi4))
+        for cls in reg.coefficients:
+            assert reg.rel_std.get(cls, 0.0) == 0.0
+            assert reg.predict_std(cls, 1e6) == 0.0
+
+    def test_noisy_rel_std_positive(self, tiny_model, pi4):
+        table = profile_model(tiny_model, pi4, noise=0.1, seed=0, repeats=8)
+        reg = fit_latency_regression(table)
+        assert any(s > 0 for s in reg.rel_std.values())
+
+    def test_predict_var_is_std_squared(self, tiny_model, pi4):
+        table = profile_model(tiny_model, pi4, noise=0.1, seed=0, repeats=8)
+        reg = fit_latency_regression(table)
+        for r in table.rows:
+            if r.flops > 0:
+                std = reg.predict_std(r.layer_class, r.flops)
+                assert reg.predict_var(r.layer_class, r.flops) == pytest.approx(std**2)

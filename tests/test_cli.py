@@ -129,3 +129,48 @@ class TestCommands:
         assert main(
             ["chaos", "--tasks", "2", "--horizon", "6", "--timeout", "0"]
         ) == 1
+
+
+class TestRiskCommands:
+    def test_profile_repeats(self, capsys):
+        assert main(
+            ["profile", "alexnet", "raspberry_pi4", "--noise", "0.05",
+             "--repeats", "4", "--top", "3"]
+        ) == 0
+        assert "ms total" in capsys.readouterr().out
+
+    def test_simulate_service_noise_and_epsilon(self, capsys):
+        assert main(
+            ["simulate", "--tasks", "2", "--horizon", "6",
+             "--service-noise", "0.2", "--epsilon", "0.1", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tail-violation verdict" in out
+        assert "overall realized violation" in out
+
+    def test_simulate_epsilon_validated(self, capsys):
+        assert main(
+            ["simulate", "--tasks", "2", "--horizon", "6", "--epsilon", "2.0"]
+        ) == 1
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_risk_command(self, capsys):
+        assert main(
+            ["risk", "--tasks", "3", "--horizon", "6",
+             "--deadline-scale", "3.0", "--seed", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "certification and realized misses" in out
+        assert "kappa=" in out
+        assert "realized violation over certified tasks" in out
+
+    def test_risk_gaussian_buffer(self, capsys):
+        assert main(
+            ["risk", "--tasks", "2", "--horizon", "6", "--buffer", "gaussian",
+             "--epsilon", "0.1", "--seed", "0"]
+        ) == 0
+        assert "buffer=gaussian" in capsys.readouterr().out
+
+    def test_risk_rejects_bad_buffer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["risk", "--buffer", "chebyshev"])
